@@ -1,0 +1,169 @@
+// Ablations for the design choices DESIGN.md calls out, beyond the paper's
+// own Table 3:
+//   (a) pipeline schedule: GPipe vs classic 1F1B vs interleaved 1F1B —
+//       same bubble algebra, very different activation memory (why §2 uses
+//       interleaved 1F1B);
+//   (b) ZeRO stage: communication volume vs memory trade (why §2 picks
+//       stage 2);
+//   (c) TP/SP fusion chunk count: the §3.2 GEMM-chunk pipelining knob;
+//   (d) flat ring vs hierarchical DP all-reduce at scale.
+#include <cstdio>
+
+#include "collective/comm.h"
+#include "core/table.h"
+#include "engine/job.h"
+#include "model/memory.h"
+#include "parallel/pipeline.h"
+
+using namespace ms;
+using namespace ms::engine;
+
+namespace {
+
+JobConfig base_config() {
+  JobConfig cfg;
+  cfg.model = model::config_175b();
+  cfg.model.parallel_block = true;
+  cfg.par = parallel::ParallelConfig{.tp = 8, .pp = 8, .dp = 4, .vpp = 1};
+  cfg.global_batch = 256;
+  cfg.ops = model::OperatorProfile::megascale();
+  cfg.overlap = OverlapOptions::megascale();
+  return cfg;
+}
+
+void schedule_ablation() {
+  std::printf("--- (a) pipeline schedule ---\n");
+  Table t({"schedule", "iter", "MFU", "peak in-flight", "activations",
+           "fits 80GB?"});
+  struct Case {
+    const char* name;
+    PipelineSchedule schedule;
+    int vpp;
+  };
+  const Case cases[] = {
+      {"GPipe", PipelineSchedule::kGpipe, 1},
+      {"1F1B", PipelineSchedule::kOneFOneB, 1},
+      {"interleaved 1F1B (vpp 6)", PipelineSchedule::kOneFOneB, 6},
+  };
+  for (const auto& c : cases) {
+    auto cfg = base_config();
+    cfg.schedule = c.schedule;
+    cfg.par.vpp = c.vpp;
+    const auto r = simulate_iteration(cfg);
+    const int m = cfg.microbatches_per_replica();
+    const auto sched =
+        c.schedule == PipelineSchedule::kGpipe
+            ? parallel::gpipe_schedule_for_stage(cfg.par.pp, 0, m)
+            : parallel::schedule_for_stage(cfg.par.pp, 0, c.vpp, m);
+    const int inflight = parallel::peak_inflight_microbatches(sched);
+    // Interleaved chunks are 1/vpp the size; normalize to microbatch units.
+    const double inflight_units =
+        static_cast<double>(inflight) / static_cast<double>(c.vpp);
+    const auto mem = model::peak_memory(
+        cfg.model, cfg.par, static_cast<int>(inflight_units + 0.5));
+    t.add_row({c.name, format_duration(r.iteration_time),
+               Table::fmt_pct(r.mfu), Table::fmt_int(inflight),
+               Table::fmt(mem.activations / 1e9, 1) + " GB",
+               mem.total() <= 80e9 ? "yes" : "NO"});
+  }
+  // Activation recomputation: the other memory lever.
+  {
+    auto cfg = base_config();
+    cfg.par.vpp = 6;
+    const auto stash = simulate_iteration(cfg);
+    cfg.full_recompute = true;
+    const auto recompute = simulate_iteration(cfg);
+    model::MemoryConfig sel, full;
+    sel.activation_factor = model::MemoryConfig::kSelectiveRecompute;
+    full.activation_factor = model::MemoryConfig::kFullRecompute;
+    const auto mem_sel = model::peak_memory(cfg.model, cfg.par, 10, sel);
+    const auto mem_full = model::peak_memory(cfg.model, cfg.par, 10, full);
+    t.add_row({"interleaved + full recompute",
+               format_duration(recompute.iteration_time),
+               Table::fmt_pct(recompute.mfu), "-",
+               Table::fmt(mem_full.activations / 1e9, 1) + " GB", "yes"});
+    (void)stash;
+    (void)mem_sel;
+  }
+  t.print();
+  std::printf(
+      "GPipe matches 1F1B on time but stashes every microbatch's "
+      "activations; interleaving buys back bubble at bounded memory; full "
+      "recomputation trades ~1/3 more compute for 17x less activation "
+      "memory.\n\n");
+}
+
+void zero_ablation() {
+  std::printf("--- (b) ZeRO stage ---\n");
+  Table t({"stage", "iter (overlap off)", "grad+opt memory", "note"});
+  for (int stage : {1, 2, 3}) {
+    auto cfg = base_config();
+    cfg.par.vpp = 6;
+    cfg.par.zero_stage = stage;
+    cfg.overlap = OverlapOptions::megatron_lm();  // expose the DP comm
+    const auto r = simulate_iteration(cfg);
+    const auto mem = model::peak_memory(cfg.model, cfg.par, 14);
+    const char* note = stage == 1 ? "full grad all-reduce"
+                       : stage == 2
+                           ? "reduce-scatter + all-gather (paper's choice)"
+                           : "params re-gathered in backward too";
+    t.add_row({Table::fmt_int(stage), format_duration(r.iteration_time),
+               Table::fmt((mem.gradients + mem.optimizer) / 1e9, 1) + " GB",
+               note});
+  }
+  t.print();
+  std::printf(
+      "stage 2 moves exactly one all-reduce's volume with both halves "
+      "schedulable — no extra traffic, all the overlap (§2).\n\n");
+}
+
+void chunk_ablation() {
+  std::printf("--- (c) TP/SP fusion chunk count (§3.2 Figure 3c) ---\n");
+  Table t({"chunks", "iter", "MFU"});
+  for (int chunks : {1, 2, 4, 8, 16, 32}) {
+    auto cfg = base_config();
+    cfg.par.vpp = 6;
+    cfg.overlap.tp_overlap_chunks = chunks;
+    const auto r = simulate_iteration(cfg);
+    t.add_row({Table::fmt_int(chunks), format_duration(r.iteration_time),
+               Table::fmt_pct(r.mfu)});
+  }
+  t.print();
+  std::printf(
+      "more chunks hide more of the all-gather/reduce-scatter behind the "
+      "FFN GEMM, with diminishing returns once the ramp is amortized.\n\n");
+}
+
+void hierarchy_ablation() {
+  std::printf("--- (d) flat ring vs hierarchical DP all-reduce ---\n");
+  collective::CollectiveModel coll{collective::ClusterSpec{}};
+  Table t({"DP GPUs", "flat ring", "hierarchical (8/node)", "speedup"});
+  for (int gpus : {64, 256, 1024, 4096}) {
+    const Bytes bytes = 1_GiB;
+    const TimeNs flat =
+        coll.all_reduce(bytes, gpus, collective::Domain::kInterNode);
+    const TimeNs hier = coll.hierarchical_all_reduce(bytes, gpus / 8, 8);
+    t.add_row({Table::fmt_int(gpus), format_duration(flat),
+               format_duration(hier),
+               Table::fmt(static_cast<double>(flat) / static_cast<double>(hier),
+                          2) +
+                   "x"});
+  }
+  t.print();
+  std::printf(
+      "a flat ring pushes the FULL payload through every GPU's NIC; the "
+      "rail-aligned hierarchy reduces inside the node first so each NIC "
+      "carries only 1/8 of the bytes, and the network ring's latency term "
+      "grows with nodes instead of GPUs.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== design-choice ablations ===\n\n");
+  schedule_ablation();
+  zero_ablation();
+  chunk_ablation();
+  hierarchy_ablation();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Shared configuration for the bench binaries: paper-faithful job configs
+// and a fabric-derived network-efficiency model.
+#pragma once
+
+#include <map>
+
+#include "engine/job.h"
+#include "engine/perturb.h"
+#include "net/ecmp.h"
+#include "net/topology.h"
+
+namespace ms::bench {
+
+/// Effective network efficiency at a given cluster size, derived from the
+/// ECMP conflict analysis: a CLOS fabric proportional to the job is built,
+/// permutation traffic is routed, and the mean attained throughput fraction
+/// becomes the collective model's bandwidth derating. Larger jobs span more
+/// pods, ascend more tiers and collide more — the §3.6/§6.1 scale effect.
+inline double network_efficiency_for(int gpus) {
+  static std::map<int, double> cache;
+  auto it = cache.find(gpus);
+  if (it != cache.end()) return it->second;
+
+  net::ClosParams p;
+  p.hosts = std::max(16, gpus / 8);
+  p.nics_per_host = 8;
+  p.hosts_per_tor = 64;
+  p.pods = std::max(1, p.hosts / 256);
+  p.aggs_per_pod = 8;
+  p.spines_per_plane = 8;
+  net::ClosTopology topo(p);
+
+  double total = 0;
+  constexpr int kTrials = 3;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng rng(0xEC3Fu + static_cast<std::uint64_t>(t));
+    auto flows = net::permutation_traffic(topo, rng);
+    total += net::analyze_ecmp(topo, flows).mean_throughput_frac;
+  }
+  const double eff = total / kTrials;
+  cache[gpus] = eff;
+  return eff;
+}
+
+/// Megatron-LM baseline: serial transformer block, full attention, naive
+/// attention/LayerNorm/GeLU kernels, no MegaScale overlap.
+inline engine::JobConfig megatron_175b(int gpus, int batch) {
+  engine::JobConfig cfg;
+  cfg.model = model::config_175b();
+  cfg.par = parallel::ParallelConfig{.tp = 8, .pp = 8, .dp = gpus / 64,
+                                     .vpp = 6};
+  cfg.global_batch = batch;
+  cfg.ops = model::OperatorProfile::megatron_baseline();
+  cfg.overlap = engine::OverlapOptions::megatron_lm();
+  cfg.network_efficiency = network_efficiency_for(gpus);
+  return cfg;
+}
+
+/// Full MegaScale: PTB + SWA + FlashAttention-2 + fused kernels + all
+/// overlap techniques + async data pipeline.
+inline engine::JobConfig megascale_175b(int gpus, int batch) {
+  engine::JobConfig cfg = megatron_175b(gpus, batch);
+  cfg.model.parallel_block = true;
+  cfg.model.attention = model::AttentionKind::kSlidingWindow;
+  cfg.model.window = 512;
+  cfg.ops = model::OperatorProfile::megascale();
+  cfg.overlap = engine::OverlapOptions::megascale();
+  return cfg;
+}
+
+/// 530B variants (Table 1: 105 layers, hidden 20480, TP 8, PP 35, vpp 3).
+inline engine::JobConfig megatron_530b(int gpus, int batch) {
+  engine::JobConfig cfg;
+  cfg.model = model::config_530b();
+  cfg.par = parallel::ParallelConfig{.tp = 8, .pp = 35, .dp = gpus / 280,
+                                     .vpp = 3};
+  cfg.global_batch = batch;
+  cfg.ops = model::OperatorProfile::megatron_baseline();
+  cfg.overlap = engine::OverlapOptions::megatron_lm();
+  cfg.network_efficiency = network_efficiency_for(gpus);
+  return cfg;
+}
+
+inline engine::JobConfig megascale_530b(int gpus, int batch) {
+  engine::JobConfig cfg = megatron_530b(gpus, batch);
+  cfg.model.parallel_block = true;
+  cfg.model.attention = model::AttentionKind::kSlidingWindow;
+  cfg.model.window = 512;
+  cfg.ops = model::OperatorProfile::megascale();
+  cfg.overlap = engine::OverlapOptions::megascale();
+  return cfg;
+}
+
+/// Iteration result folded with a deterministic sample of the production
+/// cluster's machine-speed population (§5.1: stochastic scheduling over a
+/// fleet with ~0.5% slow hosts). Seed fixed so tables are reproducible.
+inline engine::StragglerFold run_with_cluster(const engine::JobConfig& cfg,
+                                              std::uint64_t seed = 0xC1D5) {
+  const auto base = engine::simulate_iteration(cfg);
+  engine::StragglerPopulation pop;
+  pop.slow_fraction = 0.005;
+  pop.slow_factor = 1.10;
+  pop.jitter_sigma = 0.01;
+  Rng rng(seed);
+  const int machines = cfg.gpus() / cfg.cluster.gpus_per_node;
+  auto speeds = engine::sample_machine_speeds(machines, pop, rng);
+  return engine::fold_stragglers(base, cfg, speeds);
+}
+
+}  // namespace ms::bench

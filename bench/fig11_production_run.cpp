@@ -1,0 +1,100 @@
+// Reproduces Figure 11: a weeks-long production run of a multi-hundred-
+// billion-parameter model on 10,000+ GPUs. The loss keeps converging while
+// MegaScale's robust training framework repairs and recovers the job more
+// than 100 times; >90% of faults are handled automatically and the
+// effective-training-time ratio stays above 90%.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "ft/workflow.h"
+#include "optim/trainer.h"
+
+using namespace ms;
+
+int main() {
+  std::printf(
+      "=== Figure 11: production run, >10,000 GPUs, several weeks ===\n\n");
+
+  // Throughput of the 12288-GPU MegaScale job (Table 2 conditions).
+  const auto job = bench::megascale_175b(12288, 6144);
+  const auto fold = bench::run_with_cluster(job);
+  const double tokens_per_s =
+      job.tokens_per_iteration() / to_seconds(fold.iteration_time);
+
+  ft::WorkflowConfig wf;
+  wf.nodes = 12288 / 8;
+  const TimeNs duration = days(56.0);  // eight weeks
+  Rng fault_rng(0xF11);
+  auto faults = ft::draw_fault_schedule(duration, hours(9.0), wf.nodes,
+                                        ft::default_fault_mix(), fault_rng);
+  Rng run_rng(0xF12);
+  const auto report = ft::run_robust_training(wf, duration, faults, run_rng);
+
+  // Loss trajectory: effective training time drives token progress; every
+  // incident restarts the curve color in the paper — here we mark restarts.
+  optim::ScalingLawLoss law(1.7, 12.0, 0.12, 1e9, 0xF13);
+  Series loss_curve;
+  loss_curve.name = "train loss";
+  Series restart_marks;
+  restart_marks.name = "restart";
+  double tokens = 0;
+  TimeNs cursor = 0;
+  std::size_t incident_idx = 0;
+  const TimeNs sample_every = hours(6.0);
+  for (TimeNs t = 0; t < duration; t += sample_every) {
+    TimeNs effective = sample_every;
+    while (incident_idx < report.incidents.size()) {
+      const auto& inc = report.incidents[incident_idx];
+      const TimeNs at = inc.fault.at;
+      if (at >= cursor + sample_every) break;
+      effective -= std::min(effective, inc.downtime + inc.lost_progress);
+      restart_marks.add(tokens / 1e12, law.loss_at(std::max(tokens, 1.0)));
+      ++incident_idx;
+    }
+    tokens += tokens_per_s * to_seconds(effective);
+    loss_curve.add(tokens / 1e12, law.loss_at(tokens));
+    cursor += sample_every;
+  }
+
+  std::printf("loss vs trillions of tokens (restarts marked 'o'):\n%s\n",
+              ascii_chart({loss_curve, restart_marks}, 76, 16).c_str());
+
+  Table t({"metric", "simulated", "paper"});
+  t.add_row({"duration", Table::fmt(to_days(duration), 0) + " days",
+             "several weeks"});
+  t.add_row({"tokens trained", Table::fmt(tokens / 1e12, 2) + "T",
+             "multi-trillion"});
+  t.add_row({"restarts", Table::fmt_int(report.restarts), "over 100"});
+  t.add_row({"auto detected+fixed",
+             Table::fmt_pct(report.auto_detected_fraction), "over 90%"});
+  t.add_row({"auto diagnosed", Table::fmt_pct(report.auto_diagnosed_fraction),
+             "(within the >90%)"});
+  // The paper's "<10 min detection + diagnostics" and "<15 min catch-up"
+  // refer to the >90% of incidents the framework handles automatically; the
+  // silent stragglers that need the §5 performance tooling take hours.
+  TimeNs auto_detect = 0, auto_down = 0;
+  int auto_count = 0;
+  for (const auto& inc : report.incidents) {
+    if (!inc.auto_detected) continue;
+    auto_detect += inc.detect_latency;
+    auto_down += inc.downtime;
+    ++auto_count;
+  }
+  if (auto_count > 0) {
+    auto_detect /= auto_count;
+    auto_down /= auto_count;
+  }
+  t.add_row({"detect+diagnose (auto cases)",
+             format_duration(auto_detect + TimeNs(wf.suite.total_duration())),
+             "< 10 min"});
+  t.add_row({"downtime per incident (auto cases)", format_duration(auto_down),
+             "catch up < 15 min"});
+  t.add_row({"effective training time",
+             Table::fmt_pct(report.effective_time_ratio), "over 90%"});
+  t.add_row({"checkpoints taken", Table::fmt_int(report.checkpoints_taken),
+             "-"});
+  t.print();
+  return 0;
+}

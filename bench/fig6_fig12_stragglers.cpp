@@ -1,0 +1,84 @@
+// Reproduces Figure 6 (inconsistent MFU across runs of the same job, caused
+// by stochastic machine scheduling over a fleet with rare slow hosts) and
+// Figure 12 (consistent, stable MFU after evicting stragglers and removing
+// the problematic code segments whose growing launch stagger decayed MFU
+// over time — §6.3).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "engine/perturb.h"
+
+using namespace ms;
+using namespace ms::engine;
+
+int main() {
+  const auto cfg = bench::megascale_175b(12288, 6144);
+  const auto base = simulate_iteration(cfg);
+  const int machines = cfg.gpus() / cfg.cluster.gpus_per_node;
+  constexpr int kTrials = 4;
+  constexpr int kSteps = 3000;
+
+  PerturbConfig perturb;
+  StragglerPopulation pop;  // 0.5% of hosts 10% slow
+
+  std::printf(
+      "=== Figure 6: inconsistent MFU across runs (stragglers + problematic "
+      "code) ===\n\n");
+  std::vector<Series> fig6;
+  Table t6({"trial", "slow machines", "mean MFU", "MFU drift (first->last "
+            "500 steps)"});
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(0x600 + static_cast<std::uint64_t>(trial));
+    auto speeds = sample_machine_speeds(machines, pop, rng);
+    const auto fold = fold_stragglers(base, cfg, speeds);
+    auto series = mfu_over_time(base, cfg, perturb, kSteps,
+                                /*problematic_code=*/true, speeds, rng);
+    series.name = "trial " + std::to_string(trial);
+    double mean = 0;
+    for (double v : series.y) mean += v;
+    mean /= static_cast<double>(series.y.size());
+    double head = 0;
+    for (int i = 0; i < 500; ++i) head += series.y[static_cast<std::size_t>(i)];
+    head /= 500.0;
+    t6.add_row({Table::fmt_int(trial), Table::fmt_int(fold.slow_machines),
+                Table::fmt_pct(mean),
+                Table::fmt_pct(series.tail_mean(500) - head)});
+    fig6.push_back(std::move(series));
+  }
+  std::printf("%s\n", ascii_chart(fig6, 76, 14).c_str());
+  t6.print();
+
+  std::printf(
+      "\n=== Figure 12: stable MFU after evicting stragglers and fixing the "
+      "code ===\n\n");
+  std::vector<Series> fig12;
+  Table t12({"trial", "mean MFU", "MFU drift"});
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(0x1200 + static_cast<std::uint64_t>(trial));
+    // Stragglers evicted: healthy jitter only. Problematic code removed.
+    StragglerPopulation healthy = pop;
+    healthy.slow_fraction = 0.0;
+    auto speeds = sample_machine_speeds(machines, healthy, rng);
+    auto series = mfu_over_time(base, cfg, perturb, kSteps,
+                                /*problematic_code=*/false, speeds, rng);
+    series.name = "trial " + std::to_string(trial);
+    double mean = 0;
+    for (double v : series.y) mean += v;
+    mean /= static_cast<double>(series.y.size());
+    double head = 0;
+    for (int i = 0; i < 500; ++i) head += series.y[static_cast<std::size_t>(i)];
+    head /= 500.0;
+    t12.add_row({Table::fmt_int(trial), Table::fmt_pct(mean),
+                 Table::fmt_pct(series.tail_mean(500) - head)});
+    fig12.push_back(std::move(series));
+  }
+  std::printf("%s\n", ascii_chart(fig12, 76, 14).c_str());
+  t12.print();
+  std::printf(
+      "\npaper §6.3: removing ~0.5%% slow hosts gave ~0.7%% MFU back and "
+      "eliminated the run-to-run spread; fixing garbage collection and "
+      "fluctuating CPU code paths stopped the gradual MFU decline.\n");
+  return 0;
+}

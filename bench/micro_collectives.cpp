@@ -1,0 +1,73 @@
+// Collective-layer microbenchmarks (google-benchmark): cost-model
+// evaluation throughput, plan generation, and max-min-fair flow simulation.
+#include <benchmark/benchmark.h>
+
+#include "collective/comm.h"
+#include "collective/plan.h"
+#include "net/flowsim.h"
+#include "net/topology.h"
+
+using namespace ms;
+using namespace ms::collective;
+
+namespace {
+
+void BM_AllReduceCostModel(benchmark::State& state) {
+  CollectiveModel model{ClusterSpec{}};
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.all_reduce(1_GiB, ranks, Domain::kInterNode));
+  }
+}
+BENCHMARK(BM_AllReduceCostModel)->Range(8, 4096);
+
+void BM_RingAllReducePlan(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring_all_reduce_plan(ranks, 1_GiB));
+  }
+  state.SetComplexityN(ranks);
+}
+BENCHMARK(BM_RingAllReducePlan)->Range(8, 256)->Complexity();
+
+void BM_FlowSimRingRound(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  net::ClosParams p;
+  p.hosts = hosts;
+  p.nics_per_host = 1;
+  p.hosts_per_tor = 8;
+  p.pods = std::max(1, hosts / 16);
+  p.aggs_per_pod = 2;
+  p.spines_per_plane = 2;
+  net::ClosTopology topo(p);
+  for (auto _ : state) {
+    net::FlowSim sim(topo);
+    for (int i = 0; i < hosts; ++i) {
+      auto paths = topo.ecmp_paths(i, (i + 1) % hosts, 0);
+      sim.add_flow(paths[0], 100_MiB);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.makespan());
+  }
+}
+BENCHMARK(BM_FlowSimRingRound)->Range(8, 64);
+
+void BM_EcmpPathEnumeration(benchmark::State& state) {
+  net::ClosParams p;
+  p.hosts = 512;
+  p.nics_per_host = 8;
+  p.hosts_per_tor = 64;
+  p.pods = 2;
+  p.aggs_per_pod = 8;
+  p.spines_per_plane = 8;
+  net::ClosTopology topo(p);
+  int src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.ecmp_paths(src, 511 - src % 256, src % 8));
+    src = (src + 1) % 256;
+  }
+}
+BENCHMARK(BM_EcmpPathEnumeration);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// §3.3 operator microbenchmarks (google-benchmark), on the REAL numeric
+// substrate: sliding-window attention's O(s*w) vs full attention's O(s^2),
+// GEMM and LayerNorm kernels, and the KV-store primitives behind §3.5.
+#include <benchmark/benchmark.h>
+
+#include "collective/kvstore.h"
+#include "optim/nn.h"
+#include "optim/autograd.h"
+
+using namespace ms;
+using namespace ms::optim;
+
+namespace {
+
+void BM_AttentionFull(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int H = 64;
+  Rng rng(1);
+  auto q = Tensor::randn({T, H}, rng, 0.5f);
+  auto k = Tensor::randn({T, H}, rng, 0.5f);
+  auto v = Tensor::randn({T, H}, rng, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attention(q, k, v, 4, /*window=*/0));
+  }
+  state.SetComplexityN(T);
+}
+BENCHMARK(BM_AttentionFull)->Range(32, 256)->Complexity(benchmark::oNSquared);
+
+void BM_AttentionSlidingWindow(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int H = 64;
+  Rng rng(2);
+  auto q = Tensor::randn({T, H}, rng, 0.5f);
+  auto k = Tensor::randn({T, H}, rng, 0.5f);
+  auto v = Tensor::randn({T, H}, rng, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attention(q, k, v, 4, /*window=*/16));
+  }
+  state.SetComplexityN(T);
+}
+BENCHMARK(BM_AttentionSlidingWindow)
+    ->Range(32, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  auto a = Tensor::randn({n, n}, rng, 0.5f);
+  auto b = Tensor::randn({n, n}, rng, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Range(16, 128);
+
+void BM_LayerNorm(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  Rng rng(4);
+  auto x = Tensor::randn({rows, 64}, rng, 1.0f);
+  auto gamma = Tensor::full({64}, 1.0f);
+  auto beta = Tensor::zeros({64});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layernorm(x, gamma, beta));
+  }
+}
+BENCHMARK(BM_LayerNorm)->Range(16, 256);
+
+void BM_TrainingStepBackward(benchmark::State& state) {
+  Rng rng(5);
+  TinyGptConfig cfg;
+  cfg.vocab = 64;
+  cfg.seq_len = 32;
+  cfg.hidden = 64;
+  cfg.heads = 4;
+  cfg.layers = 2;
+  cfg.ffn_hidden = 128;
+  TinyGpt model(cfg, rng);
+  std::vector<int> tokens;
+  for (int i = 0; i <= cfg.seq_len; ++i) tokens.push_back(i % cfg.vocab);
+  for (auto _ : state) {
+    Tensor loss = model.loss(tokens);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_TrainingStepBackward);
+
+void BM_BlockingKvStoreSet(benchmark::State& state) {
+  collective::BlockingKvStore store(std::chrono::microseconds(0));
+  int i = 0;
+  for (auto _ : state) {
+    store.set("key" + std::to_string(i++ % 64), "value");
+  }
+}
+BENCHMARK(BM_BlockingKvStoreSet);
+
+void BM_AsyncKvStoreSet(benchmark::State& state) {
+  collective::AsyncKvStore store;
+  int i = 0;
+  for (auto _ : state) {
+    store.set("key" + std::to_string(i++ % 64), "value");
+  }
+}
+BENCHMARK(BM_AsyncKvStoreSet);
+
+}  // namespace

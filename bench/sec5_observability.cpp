@@ -1,0 +1,119 @@
+// Reproduces §5 (Figures 7 and 8): the observability toolkit in action.
+//   * Figure 7: per-machine performance heat map with straggler marking,
+//     and the 3D-parallel visualization of a selected rank;
+//   * Figure 8: unified pipeline timeline built from the engine's spans;
+//   * §5.2 case study: hang localization from "who logged a blocked op".
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "diag/heatmap.h"
+#include "diag/skew.h"
+#include "diag/timeline.h"
+#include "diag/viz3d.h"
+#include "engine/perturb.h"
+
+using namespace ms;
+
+int main() {
+  std::printf("=== §5: deep observability ===\n\n");
+
+  // ---------------- Figure 7: heat map ----------------
+  std::printf("--- Figure 7: performance heat map (64 machines) ---\n");
+  diag::PerformanceHeatmap heatmap;
+  engine::StragglerPopulation pop;
+  pop.slow_fraction = 0.0;  // place the straggler deterministically
+  Rng rng(0x500);
+  auto speeds = engine::sample_machine_speeds(64, pop, rng);
+  speeds[23] *= 1.10;  // the §6.3 host: ~10% slower on identical work
+  for (int machine = 0; machine < 64; ++machine) {
+    for (int step = 0; step < 30; ++step) {
+      const double noise = 1.0 + 0.004 * rng.normal();
+      heatmap.add_sample(machine, "fwd", 0.0104 * speeds[machine] * noise);
+      heatmap.add_sample(machine, "bwd", 0.0209 * speeds[machine] * noise);
+    }
+  }
+  const auto outliers = heatmap.outliers(0.05);
+  std::printf("%s\n", heatmap.ascii(0.05).c_str());
+  std::printf("stragglers detected:");
+  for (int m : outliers) std::printf(" machine %d", m);
+  std::printf("  (injected: machine 23)\n\n");
+
+  // ---------------- Figure 8: unified timeline ----------------
+  std::printf("--- Figure 8: pipeline timeline (one iteration, pp=4) ---\n");
+  engine::JobConfig cfg;
+  cfg.model = model::config_175b();
+  cfg.model.layers = 48;
+  cfg.par = parallel::ParallelConfig{.tp = 8, .pp = 4, .dp = 1, .vpp = 2};
+  cfg.global_batch = 8;
+  cfg.ops = model::OperatorProfile::megascale();
+  cfg.overlap = engine::OverlapOptions::megascale();
+  const auto iter = engine::simulate_iteration(cfg);
+
+  diag::TimelineTrace trace;
+  for (const auto& rec : iter.spans) {
+    if (rec.tag != "fwd" && rec.tag != "bwd" && rec.tag != "optimizer") {
+      continue;  // keep the lanes readable: compute + optimizer only
+    }
+    diag::TraceSpan span;
+    span.rank = rec.stream / 4;  // 4 streams per pipeline stage
+    span.name = rec.name;
+    span.tag = rec.tag;
+    span.start = rec.start;
+    span.end = rec.end;
+    trace.add(span);
+  }
+  std::printf("%s\n",
+              trace.render(0, iter.iteration_time, 100).c_str());
+  for (int stage = 0; stage < 4; ++stage) {
+    std::printf("stage %d bubble time: %s\n", stage,
+                format_duration(
+                    trace.idle_time(stage, 0, iter.iteration_time))
+                    .c_str());
+  }
+
+  // ---------------- §5.2: 3D visualization + hang localization ----------
+  std::printf("\n--- 3D parallel visualization (rank 20 of tp8 x dp2 x pp2) ---\n");
+  parallel::ParallelConfig par3d{.tp = 8, .pp = 2, .dp = 2};
+  diag::Parallel3DVisualizer viz(par3d);
+  std::printf("%s\n", viz.describe(20).c_str());
+
+  // ---------------- §6.3: launch-skew analysis ("MFU decreasing") --------
+  std::printf("--- §6.3: reduce-scatter launch-skew analysis ---\n");
+  diag::LaunchSkewAnalyzer skew;
+  Rng walk_rng(0x63);
+  double drift = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    for (int rank = 0; rank < 8; ++rank) {
+      TimeNs launch = step * seconds(11.0) +
+                      static_cast<TimeNs>(walk_rng.uniform(0, 3e6));
+      if (rank == 5) launch += seconds(drift);  // the problematic rank
+      skew.record(step, rank, launch);
+    }
+    drift += std::fabs(walk_rng.normal(0.0, 0.0015));
+  }
+  std::printf(
+      "skew at step 10: %s; at step 390: %s; trend: %+0.2f ms/step\n",
+      format_duration(skew.skew_at(10)).c_str(),
+      format_duration(skew.skew_at(390)).c_str(),
+      skew.skew_growth_per_step() * 1e3);
+  std::printf("drifting ranks:");
+  for (int r : skew.drifting_ranks(1e-4)) std::printf(" %d", r);
+  std::printf(
+      "  (injected: rank 5)\n"
+      "-> the §6.3 conclusion: launch stagger grows with steps; fix the\n"
+      "   fluctuating code paths (GC, problematic CPU ops) on those ranks.\n\n");
+
+  std::printf("--- hang localization: rank 12's GPU blocks an NCCL op ---\n");
+  std::map<int, std::string> logs;
+  for (int r = 0; r < par3d.world(); ++r) {
+    if (r != 12) logs[r] = "blocked in dp-allgather / pp-recv";
+  }
+  auto suspects = viz.locate_hung_ranks(logs);
+  std::printf("ranks that logged a blocked operation on timeout: %d of %d\n",
+              static_cast<int>(logs.size()), par3d.world());
+  std::printf("silent (suspect) ranks:");
+  for (int s : suspects) std::printf(" %d", s);
+  std::printf("   -> isolate and flag for maintenance (§4.1)\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces Table 2: strong-scaling training performance of the 175B
+// model, Megatron-LM vs MegaScale, 256 -> 12288 GPUs.
+//
+// Batch 768 for 256-1024 GPUs (GPU memory limit), batch 6144 for
+// 3072-12288 GPUs. The table prints simulated values next to the paper's
+// published numbers; absolute agreement is not expected (our substrate is
+// a simulator), the comparison targets the shape: MegaScale wins
+// everywhere, by ~1.2-1.35x, and MFU declines as GPUs grow at fixed batch.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/table.h"
+
+namespace {
+
+struct PaperRow {
+  int gpus;
+  double iter_s, tokens_k, days, mfu, pflops;
+};
+
+// Paper Table 2 values (Megatron-LM, then MegaScale).
+const std::vector<PaperRow> kPaperMegatron768 = {
+    {256, 40.0, 39.3, 88.35, 0.530, 43.3},
+    {512, 21.2, 74.1, 46.86, 0.499, 77.6},
+    {768, 15.2, 103.8, 33.45, 0.467, 111.9},
+    {1024, 11.9, 132.7, 26.17, 0.447, 131.9},
+};
+const std::vector<PaperRow> kPaperMegaScale768 = {
+    {256, 32.0, 49.0, 70.86, 0.653, 52.2},
+    {512, 16.5, 95.1, 36.51, 0.635, 101.4},
+    {768, 11.5, 136.7, 25.40, 0.613, 146.9},
+    {1024, 8.9, 176.9, 19.62, 0.590, 188.5},
+};
+const std::vector<PaperRow> kPaperMegatron6144 = {
+    {3072, 29.02, 433.6, 8.01, 0.487, 466.8},
+    {6144, 14.78, 851.6, 4.08, 0.478, 916.3},
+    {8192, 12.24, 1027.9, 3.38, 0.433, 1106.7},
+    {12288, 8.57, 1466.8, 2.37, 0.412, 1579.5},
+};
+const std::vector<PaperRow> kPaperMegaScale6144 = {
+    {3072, 23.66, 531.9, 6.53, 0.591, 566.5},
+    {6144, 12.21, 1030.9, 3.37, 0.573, 1098.4},
+    {8192, 9.56, 1315.6, 2.64, 0.549, 1400.6},
+    {12288, 6.34, 1984.0, 1.75, 0.552, 2166.3},
+};
+
+void run_block(int batch, const std::vector<PaperRow>& paper_megatron,
+               const std::vector<PaperRow>& paper_megascale) {
+  using ms::Table;
+  using namespace ms::bench;
+
+  Table table({"BS", "Method", "GPUs", "Iter(s)", "paper", "Tokens/s",
+               "paper", "Days@300B", "MFU", "paper", "PFlop/s", "Speedup",
+               "paper"});
+
+  std::vector<double> megatron_iters;
+  for (std::size_t i = 0; i < paper_megatron.size(); ++i) {
+    const int gpus = paper_megatron[i].gpus;
+    const auto fold = run_with_cluster(megatron_175b(gpus, batch));
+    const auto cfg = megatron_175b(gpus, batch);
+    const double iter_s = ms::to_seconds(fold.iteration_time);
+    const double tokens_s = cfg.tokens_per_iteration() / iter_s;
+    megatron_iters.push_back(iter_s);
+    table.add_row(
+        {Table::fmt_int(batch), "Megatron-LM", Table::fmt_int(gpus),
+         Table::fmt(iter_s, 2), Table::fmt(paper_megatron[i].iter_s, 2),
+         Table::fmt(tokens_s / 1e3, 1) + "k",
+         Table::fmt(paper_megatron[i].tokens_k, 1) + "k",
+         Table::fmt(ms::engine::training_days(300e9, tokens_s), 2),
+         Table::fmt_pct(fold.mfu), Table::fmt_pct(paper_megatron[i].mfu),
+         Table::fmt(ms::model::reference_train_flops_per_token(cfg.model) *
+                        tokens_s / 1e15,
+                    1),
+         "-", "-"});
+  }
+  table.add_separator();
+  for (std::size_t i = 0; i < paper_megascale.size(); ++i) {
+    const int gpus = paper_megascale[i].gpus;
+    const auto fold = run_with_cluster(megascale_175b(gpus, batch));
+    const auto cfg = megascale_175b(gpus, batch);
+    const double iter_s = ms::to_seconds(fold.iteration_time);
+    const double tokens_s = cfg.tokens_per_iteration() / iter_s;
+    const double speedup = megatron_iters[i] / iter_s;
+    const double paper_speedup =
+        paper_megascale[i].mfu / paper_megatron[i].mfu;
+    table.add_row(
+        {Table::fmt_int(batch), "MegaScale", Table::fmt_int(gpus),
+         Table::fmt(iter_s, 2), Table::fmt(paper_megascale[i].iter_s, 2),
+         Table::fmt(tokens_s / 1e3, 1) + "k",
+         Table::fmt(paper_megascale[i].tokens_k, 1) + "k",
+         Table::fmt(ms::engine::training_days(300e9, tokens_s), 2),
+         Table::fmt_pct(fold.mfu), Table::fmt_pct(paper_megascale[i].mfu),
+         Table::fmt(ms::model::reference_train_flops_per_token(cfg.model) *
+                        tokens_s / 1e15,
+                    1),
+         Table::fmt(speedup, 2) + "x", Table::fmt(paper_speedup, 2) + "x"});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table 2: strong-scaling training performance, 175B model ===\n"
+      "(simulated vs paper; batch 768 below 3072 GPUs, 6144 above)\n\n");
+  run_block(768, kPaperMegatron768, kPaperMegaScale768);
+  std::printf("\n");
+  run_block(6144, kPaperMegatron6144, kPaperMegaScale6144);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Distributed correctness: prove the parallelization math on real numbers.
+//
+// Three demonstrations with the functional-parallelism module:
+//   1. a ring all-reduce executed round-by-round over float buffers matches
+//      the elementwise sum (the data-movement plan is correct);
+//   2. a Megatron tensor-parallel MLP (column-parallel, shard-local GeLU,
+//      row-parallel) is numerically identical to the serial MLP;
+//   3. ZeRO-2 data parallelism — real reduce-scatter, sharded Adam, real
+//      all-gather — tracks single-process full-batch training step by step.
+#include <cmath>
+#include <cstdio>
+
+#include "dist/collectives.h"
+#include "dist/data_parallel.h"
+#include "dist/tensor_parallel.h"
+#include "optim/trainer.h"
+
+using namespace ms;
+using namespace ms::dist;
+
+int main() {
+  std::printf("=== distributed correctness lab ===\n\n");
+
+  // ---- 1. ring all-reduce on real data ----
+  {
+    constexpr int kRanks = 8;
+    Rng rng(1);
+    std::vector<Buffer> bufs(kRanks, Buffer(64));
+    Buffer expected(64, 0.0f);
+    for (auto& b : bufs) {
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        b[i] = static_cast<float>(rng.normal());
+        expected[i] += b[i];
+      }
+    }
+    std::vector<Buffer*> ptrs;
+    for (auto& b : bufs) ptrs.push_back(&b);
+    ring_all_reduce_sum(ptrs);
+    double worst = 0;
+    for (const auto& b : bufs) {
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        worst = std::max(worst, std::fabs(static_cast<double>(b[i]) - expected[i]));
+      }
+    }
+    std::printf("1. ring all-reduce over %d ranks (2x(n-1) rounds executed "
+                "on data): max error vs elementwise sum = %.2e\n\n",
+                kRanks, worst);
+  }
+
+  // ---- 2. Megatron tensor-parallel MLP ----
+  {
+    Rng rng(2);
+    const int h = 16, f = 64;
+    auto w1 = optim::Tensor::randn({h, f}, rng, 0.5f, true);
+    auto b1 = optim::Tensor::randn({f}, rng, 0.2f, true);
+    auto w2 = optim::Tensor::randn({f, h}, rng, 0.5f, true);
+    auto b2 = optim::Tensor::randn({h}, rng, 0.2f, true);
+    auto x = optim::Tensor::randn({12, h}, rng, 0.5f);
+    const auto serial = optim::add(
+        optim::matmul(optim::gelu(optim::add(optim::matmul(x, w1), b1)), w2),
+        b2);
+    for (int shards : {2, 4, 8}) {
+      TensorParallelMlp mlp(w1, b1, w2, b2, shards);
+      const auto parallel = mlp.forward(x);
+      double worst = 0;
+      for (std::int64_t i = 0; i < serial.numel(); ++i) {
+        worst = std::max(worst, std::fabs(static_cast<double>(parallel.data()[i]) -
+                                          serial.data()[i]));
+      }
+      std::printf("2. tensor-parallel MLP, %d shards: max |Δ| vs serial = "
+                  "%.2e  (one all-reduce, GeLU fully local)\n",
+                  shards, worst);
+    }
+    std::printf("\n");
+  }
+
+  // ---- 3. ZeRO-2 DP vs single process ----
+  {
+    optim::TinyGptConfig cfg;
+    cfg.vocab = 16;
+    cfg.seq_len = 8;
+    cfg.hidden = 16;
+    cfg.heads = 2;
+    cfg.layers = 1;
+    cfg.ffn_hidden = 32;
+    optim::MarkovCorpus corpus(16, 3, 3);
+
+    Zero2DataParallel dp(cfg, 4, /*init_seed=*/42);
+    Rng init(42);
+    optim::TinyGpt reference(cfg, init);
+    optim::Adam adam(reference.parameters());
+
+    Rng data(5);
+    std::printf("3. ZeRO-2 (4 replicas) vs single-process Adam, per step:\n");
+    std::printf("   step | dp loss | ref loss | max param delta | replica sync\n");
+    for (int step = 0; step < 5; ++step) {
+      std::vector<std::vector<int>> batch;
+      for (int i = 0; i < 8; ++i) {
+        batch.push_back(corpus.sample_sequence(cfg.seq_len + 1, data));
+      }
+      const double dp_loss = dp.step(batch, 1e-3f);
+
+      adam.zero_grad();
+      double ref_loss = 0;
+      for (const auto& seq : batch) {
+        auto loss = optim::scale(reference.loss(seq), 1.0f / 8.0f);
+        loss.backward();
+        ref_loss += loss.item() * 8.0;
+      }
+      ref_loss /= 8.0;
+      adam.step(1e-3f);
+
+      const Buffer a = dp.flat_params(0);
+      const Buffer b = flatten_params(adam.params(), 4);
+      double worst = 0;
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        worst = std::max(worst, std::fabs(static_cast<double>(a[i]) - b[i]));
+      }
+      std::printf("   %4d | %.5f | %.5f  | %.2e        | %.1e\n", step,
+                  dp_loss, ref_loss, worst, dp.max_replica_divergence());
+    }
+    std::printf(
+        "\nsame losses, same parameters: sharding the optimizer (ZeRO-2) "
+        "changes where the math runs, not what it computes — the property "
+        "that makes §2's reduce-scatter + all-gather decomposition safe.\n");
+  }
+  return 0;
+}

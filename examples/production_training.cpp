@@ -1,0 +1,77 @@
+// Production training: run a multi-week 10k-GPU job through the fault-
+// tolerance stack and compare operational policies.
+//
+// Demonstrates:
+//   * fault injection with a production-like mix (ms::ft::draw_fault_schedule)
+//   * the robust training workflow (ms::ft::run_robust_training)
+//   * policy comparisons an SRE would actually make: checkpoint interval,
+//     two-stage vs synchronous checkpointing, fast vs naive communicator
+//     re-initialization.
+#include <cstdio>
+
+#include "core/table.h"
+#include "ft/workflow.h"
+
+using namespace ms;
+using namespace ms::ft;
+
+namespace {
+
+RunReport run_policy(const WorkflowConfig& cfg, TimeNs duration,
+                     std::uint64_t seed) {
+  // Same fault schedule for every policy: only the response changes.
+  Rng fault_rng(0xACE);
+  auto faults = draw_fault_schedule(duration, hours(9.0), cfg.nodes,
+                                    default_fault_mix(), fault_rng);
+  Rng run_rng(seed);
+  return run_robust_training(cfg, duration, faults, run_rng);
+}
+
+}  // namespace
+
+int main() {
+  const TimeNs duration = days(28.0);
+  WorkflowConfig base;
+  base.nodes = 1536;  // 12288 GPUs
+
+  std::printf("=== production run: 12,288 GPUs for %d days ===\n\n",
+              static_cast<int>(to_days(duration)));
+
+  Table t({"policy", "restarts", "auto detect", "mean downtime",
+           "lost progress", "effective time"});
+  auto row = [&](const char* name, const WorkflowConfig& cfg) {
+    const auto report = run_policy(cfg, duration, 0x77);
+    t.add_row({name, Table::fmt_int(report.restarts),
+               Table::fmt_pct(report.auto_detected_fraction),
+               format_duration(report.mean_downtime),
+               format_duration(report.lost_progress_total),
+               Table::fmt_pct(report.effective_time_ratio)});
+  };
+
+  row("MegaScale defaults", base);
+
+  WorkflowConfig sparse_ckpt = base;
+  sparse_ckpt.checkpoint_interval = hours(4.0);
+  row("checkpoint every 4h (vs 30min)", sparse_ckpt);
+
+  WorkflowConfig sync_ckpt = base;
+  sync_ckpt.two_stage_checkpoint = false;
+  row("synchronous checkpoints", sync_ckpt);
+
+  WorkflowConfig naive_read = base;
+  naive_read.group_leader_recovery = false;
+  row("recovery without leader reads", naive_read);
+
+  WorkflowConfig naive_init = base;
+  naive_init.reinit_time = seconds(1047.0);  // §3.5 TCPStore init
+  row("naive communicator init (1047s)", naive_init);
+
+  t.print();
+
+  std::printf(
+      "\nEvery row replays the SAME four weeks of faults; only the recovery "
+      "machinery differs. The MegaScale defaults combine frequent two-stage "
+      "checkpoints, group-leader recovery reads and <30s communicator init "
+      "to stay above the paper's 90%% effective-training-time bar.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: simulate one training iteration of the 175B model on 1024
+// GPUs, with and without the MegaScale optimizations.
+//
+// This walks the core public API:
+//   1. pick a model architecture        (ms::model::ModelConfig)
+//   2. pick a 3D-parallel layout        (ms::parallel::ParallelConfig)
+//   3. pick operator + overlap options  (ms::model::OperatorProfile,
+//                                        ms::engine::OverlapOptions)
+//   4. simulate                         (ms::engine::simulate_iteration)
+#include <cstdio>
+
+#include "engine/job.h"
+
+int main() {
+  using namespace ms;
+
+  // --- 1. architecture: GPT-3-scale, Table 1 preset ---
+  engine::JobConfig job;
+  job.model = model::config_175b();
+
+  // --- 2. parallel layout: TP 8 (one node) x PP 8 x DP 16 = 1024 GPUs,
+  //        interleaved pipeline with 6 virtual stages per worker ---
+  job.par = parallel::ParallelConfig{.tp = 8, .pp = 8, .dp = 16, .vpp = 6};
+  job.global_batch = 768;  // sequences per step (microbatch = 1 sequence)
+
+  // --- 3a. the Megatron-LM baseline ---
+  job.ops = model::OperatorProfile::megatron_baseline();
+  job.overlap = engine::OverlapOptions::megatron_lm();
+  const auto baseline = engine::simulate_iteration(job);
+
+  // --- 3b. full MegaScale: parallel transformer block, sliding-window
+  //         attention, FlashAttention-2 + fused kernels, and every
+  //         communication-overlap technique from §3.2 ---
+  job.model.parallel_block = true;
+  job.model.attention = model::AttentionKind::kSlidingWindow;
+  job.model.window = 512;
+  job.ops = model::OperatorProfile::megascale();
+  job.overlap = engine::OverlapOptions::megascale();
+  const auto megascale = engine::simulate_iteration(job);
+
+  // --- 4. results ---
+  std::printf("175B model, %d GPUs, batch %d\n\n", job.gpus(),
+              job.global_batch);
+  auto show = [](const char* name, const engine::IterationResult& r) {
+    std::printf("%-12s iteration %-9s  %7.1fk tokens/s  MFU %.1f%%  "
+                "(%.0f PFLOP/s aggregate)\n",
+                name, format_duration(r.iteration_time).c_str(),
+                r.tokens_per_second / 1e3, r.mfu * 100.0, r.aggregate_pflops);
+  };
+  show("Megatron-LM", baseline);
+  show("MegaScale", megascale);
+  std::printf("\nspeedup: %.2fx   (paper Table 2 @1024 GPUs: 1.32x)\n",
+              static_cast<double>(baseline.iteration_time) /
+                  static_cast<double>(megascale.iteration_time));
+
+  std::printf("\ntime to train 300B tokens: %.1f days -> %.1f days\n",
+              engine::training_days(300e9, baseline.tokens_per_second),
+              engine::training_days(300e9, megascale.tokens_per_second));
+
+  // Where the time went (MegaScale run):
+  const auto& b = megascale.breakdown;
+  std::printf("\nMegaScale breakdown: data %s | pipeline body %s | "
+              "exposed DP comm %s | optimizer %s\n",
+              format_duration(b.data_pipeline).c_str(),
+              format_duration(b.pipeline_body).c_str(),
+              format_duration(b.dp_exposed).c_str(),
+              format_duration(b.optimizer).c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "collective/bootstrap.h"
+
+#include <cassert>
+
+namespace ms::collective {
+
+BootstrapEstimate estimate_init_time(const BootstrapConfig& config) {
+  const double n = config.world_size;
+  assert(config.tp >= 1 && config.pp >= 1);
+  assert(config.world_size % (config.tp * config.pp) == 0);
+
+  const double tp_groups = n / config.tp;
+  const double pp_groups = n / config.pp;
+  const double dp_groups = static_cast<double>(config.tp) * config.pp;
+  const double dp_size = n / dp_groups;
+
+  BootstrapEstimate est;
+  est.group_count = tp_groups + pp_groups + dp_groups;
+
+  // Join traffic: every member of every group publishes + reads peers once.
+  const double join_ops =
+      2.0 * (tp_groups * config.tp + pp_groups * config.pp + dp_groups * dp_size);
+
+  if (config.ordered_init) {
+    // Members-only synchronization: another O(sum of group sizes).
+    est.total_store_ops = join_ops;
+  } else {
+    // Global barrier after each group: every rank issues ~1 op per barrier.
+    est.total_store_ops = est.group_count * n + join_ops;
+  }
+
+  const double rate = config.store == StoreKind::kTcpStore
+                          ? config.tcp_ops_per_sec
+                          : config.redis_ops_per_sec;
+  est.init_time = seconds(est.total_store_ops / rate);
+  return est;
+}
+
+}  // namespace ms::collective

@@ -1,0 +1,51 @@
+// Large-scale communicator-initialization time model (MegaScale §3.5).
+//
+// The kvstore.h implementations demonstrate the mechanisms with real
+// threads at laptop scale; this model extrapolates to 2,048-12,288 GPUs to
+// reproduce the paper's measured milestones:
+//
+//   torch.distributed + TCPStore, global barriers : 1047 s @ 2048 GPUs
+//   + Redis (non-blocking, asynchronous)          :  361 s @ 2048 GPUs
+//   + ordered init (no global barriers, O(n))     :  < 5 s @ 2048 GPUs
+//                                                   < 30 s @ 10k+ GPUs
+//
+// Structure of the op count (what turns the knobs):
+//  * every rank participates in one TP, one PP and one DP group; group
+//    counts are n/tp + n/pp + tp*pp;
+//  * the naive initializer runs a WORLD-wide barrier after every group:
+//    ops = groups * world  (the O(n^2) term);
+//  * ordered initialization synchronizes only group members:
+//    ops = sum of 2 * group sizes = O(n).
+// The store drains those ops at an effective service rate; the blocking
+// TCPStore rate and the Redis rate are calibrated against the two paper
+// measurements at 2048 GPUs and then used for every other prediction.
+#pragma once
+
+#include "core/time.h"
+
+namespace ms::collective {
+
+enum class StoreKind { kTcpStore, kRedis };
+
+struct BootstrapConfig {
+  int world_size = 2048;
+  int tp = 8;
+  int pp = 8;
+  StoreKind store = StoreKind::kTcpStore;
+  /// false: global barrier after every group (torch default).
+  /// true:  MegaScale's carefully ordered initialization.
+  bool ordered_init = false;
+  /// Effective store service rates (requests/s), calibrated to the paper.
+  double tcp_ops_per_sec = 1138.0;
+  double redis_ops_per_sec = 3302.0;
+};
+
+struct BootstrapEstimate {
+  double group_count = 0;
+  double total_store_ops = 0;
+  TimeNs init_time = 0;
+};
+
+BootstrapEstimate estimate_init_time(const BootstrapConfig& config);
+
+}  // namespace ms::collective

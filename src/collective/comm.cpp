@@ -1,0 +1,93 @@
+#include "collective/comm.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ms::collective {
+
+CollectiveModel::CollectiveModel(const ClusterSpec& cluster,
+                                 double network_efficiency)
+    : cluster_(cluster), network_efficiency_(network_efficiency) {
+  assert(network_efficiency > 0 && network_efficiency <= 1.0);
+}
+
+Bandwidth CollectiveModel::bandwidth(Domain domain) const {
+  switch (domain) {
+    case Domain::kIntraNode:
+      return cluster_.nvlink_bw;
+    case Domain::kInterNode:
+      return cluster_.nic_bw * network_efficiency_;
+  }
+  return cluster_.nic_bw;
+}
+
+TimeNs CollectiveModel::latency(Domain domain) const {
+  return domain == Domain::kIntraNode ? cluster_.nvlink_latency
+                                      : cluster_.net_latency;
+}
+
+namespace {
+TimeNs transfer_time(double bytes, Bandwidth bw) {
+  return seconds(bytes / bw);
+}
+}  // namespace
+
+TimeNs CollectiveModel::all_reduce(Bytes bytes, int ranks, Domain domain) const {
+  assert(ranks >= 1 && bytes >= 0);
+  if (ranks == 1 || bytes == 0) return 0;
+  const double n = ranks;
+  const double payload = 2.0 * (n - 1.0) / n * static_cast<double>(bytes);
+  return transfer_time(payload, bandwidth(domain)) +
+         2 * (ranks - 1) * latency(domain);
+}
+
+TimeNs CollectiveModel::all_gather(Bytes bytes, int ranks, Domain domain) const {
+  assert(ranks >= 1 && bytes >= 0);
+  if (ranks == 1 || bytes == 0) return 0;
+  const double n = ranks;
+  const double payload = (n - 1.0) / n * static_cast<double>(bytes);
+  return transfer_time(payload, bandwidth(domain)) +
+         (ranks - 1) * latency(domain);
+}
+
+TimeNs CollectiveModel::reduce_scatter(Bytes bytes, int ranks,
+                                       Domain domain) const {
+  return all_gather(bytes, ranks, domain);
+}
+
+TimeNs CollectiveModel::all_to_all(Bytes bytes, int ranks, Domain domain) const {
+  assert(ranks >= 1 && bytes >= 0);
+  if (ranks == 1 || bytes == 0) return 0;
+  const double n = ranks;
+  const double payload = (n - 1.0) / n * static_cast<double>(bytes);
+  return transfer_time(payload, bandwidth(domain)) +
+         (ranks - 1) * latency(domain);
+}
+
+TimeNs CollectiveModel::send_recv(Bytes bytes, Domain domain) const {
+  assert(bytes >= 0);
+  if (bytes == 0) return 0;
+  return transfer_time(static_cast<double>(bytes), bandwidth(domain)) +
+         latency(domain);
+}
+
+TimeNs CollectiveModel::hierarchical_all_reduce(Bytes bytes, int nodes,
+                                                int gpus_per_node) const {
+  assert(nodes >= 1 && gpus_per_node >= 1 && bytes >= 0);
+  if (bytes == 0) return 0;
+  const TimeNs intra_rs =
+      reduce_scatter(bytes, gpus_per_node, Domain::kIntraNode);
+  const TimeNs inter =
+      all_reduce(bytes / gpus_per_node, nodes, Domain::kInterNode);
+  const TimeNs intra_ag = all_gather(bytes, gpus_per_node, Domain::kIntraNode);
+  return intra_rs + inter + intra_ag;
+}
+
+TimeNs CollectiveModel::broadcast(Bytes bytes, int ranks, Domain domain) const {
+  assert(ranks >= 1 && bytes >= 0);
+  if (ranks == 1 || bytes == 0) return 0;
+  return transfer_time(static_cast<double>(bytes), bandwidth(domain)) +
+         (ranks - 1) * latency(domain);
+}
+
+}  // namespace ms::collective

@@ -1,0 +1,225 @@
+#include "collective/kvstore.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace ms::collective {
+
+// ------------------------------------------------------- BlockingKvStore
+
+BlockingKvStore::BlockingKvStore(std::chrono::microseconds service_delay)
+    : service_delay_(service_delay), worker_([this] { worker_loop(); }) {}
+
+BlockingKvStore::~BlockingKvStore() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void BlockingKvStore::worker_loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      req = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // The single-threaded, blocking service: the whole store is busy for
+    // the duration of each request.
+    if (service_delay_.count() > 0) {
+      std::this_thread::sleep_for(service_delay_);
+    }
+    req.fn();
+  }
+}
+
+void BlockingKvStore::submit_and_wait(std::function<void()> fn) {
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Request{[&] {
+      fn();
+      {
+        std::lock_guard<std::mutex> dl(done_mu);
+        done = true;
+      }
+      done_cv.notify_one();
+    }});
+  }
+  cv_.notify_one();
+  std::unique_lock<std::mutex> dl(done_mu);
+  done_cv.wait(dl, [&] { return done; });
+}
+
+void BlockingKvStore::set(const std::string& key, const std::string& value) {
+  submit_and_wait([&] { map_[key] = value; });
+}
+
+std::optional<std::string> BlockingKvStore::get(const std::string& key) {
+  std::optional<std::string> result;
+  submit_and_wait([&] {
+    auto it = map_.find(key);
+    if (it != map_.end()) result = it->second;
+  });
+  return result;
+}
+
+std::int64_t BlockingKvStore::add(const std::string& key, std::int64_t delta) {
+  std::int64_t result = 0;
+  submit_and_wait([&] {
+    std::int64_t cur = 0;
+    auto it = map_.find(key);
+    if (it != map_.end()) cur = std::stoll(it->second);
+    cur += delta;
+    map_[key] = std::to_string(cur);
+    result = cur;
+  });
+  return result;
+}
+
+std::optional<std::string> BlockingKvStore::wait(
+    const std::string& key, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto value = get(key);  // one serialized request per poll
+    if (value) return value;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+// ---------------------------------------------------------- AsyncKvStore
+
+AsyncKvStore::AsyncKvStore(std::size_t shards) {
+  assert(shards > 0);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+AsyncKvStore::Shard& AsyncKvStore::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+void AsyncKvStore::set(const std::string& key, const std::string& value) {
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map[key] = value;
+  }
+  s.cv.notify_all();
+}
+
+std::optional<std::string> AsyncKvStore::get(const std::string& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t AsyncKvStore::add(const std::string& key, std::int64_t delta) {
+  Shard& s = shard_for(key);
+  std::int64_t result = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::int64_t cur = 0;
+    auto it = s.map.find(key);
+    if (it != s.map.end()) cur = std::stoll(it->second);
+    cur += delta;
+    s.map[key] = std::to_string(cur);
+    result = cur;
+  }
+  s.cv.notify_all();
+  return result;
+}
+
+std::optional<std::string> AsyncKvStore::wait(const std::string& key,
+                                              std::chrono::milliseconds timeout) {
+  Shard& s = shard_for(key);
+  std::unique_lock<std::mutex> lock(s.mu);
+  const bool ok = s.cv.wait_for(lock, timeout, [&] {
+    return s.map.find(key) != s.map.end();
+  });
+  if (!ok) return std::nullopt;
+  return s.map[key];
+}
+
+// --------------------------------------------------------------- barrier
+
+bool store_barrier(KvStore& store, const std::string& name, int world,
+                   std::chrono::milliseconds timeout) {
+  const std::int64_t arrived = store.add(name + "/count", 1);
+  if (arrived == world) {
+    store.set(name + "/go", "1");
+    return true;
+  }
+  return store.wait(name + "/go", timeout).has_value();
+}
+
+// ------------------------------------------------------------ group init
+
+GroupInitResult run_group_init(KvStore& store, int world, int group_size,
+                               bool global_barrier_per_group) {
+  assert(world % group_size == 0);
+  const int groups = world / group_size;
+  std::atomic<bool> ok{true};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    ranks.emplace_back([&, r] {
+      const int my_group = r / group_size;
+      // torch.distributed creates every group on every rank, in order.
+      for (int g = 0; g < groups; ++g) {
+        if (g == my_group) {
+          // Join: publish our endpoint, wait for all peers' endpoints.
+          const std::string prefix = "group" + std::to_string(g) + "/";
+          store.set(prefix + "rank" + std::to_string(r), "addr");
+          for (int peer = g * group_size; peer < (g + 1) * group_size; ++peer) {
+            if (!store.wait(prefix + "rank" + std::to_string(peer))) {
+              ok = false;
+              return;
+            }
+          }
+        }
+        if (global_barrier_per_group) {
+          // The incautious default: EVERY rank synchronizes after EVERY
+          // group's initialization — O(groups * world) store traffic.
+          if (!store_barrier(store, "global/after" + std::to_string(g), world)) {
+            ok = false;
+            return;
+          }
+        } else if (g == my_group) {
+          // Ordered initialization: only members synchronize.
+          if (!store_barrier(store, "group" + std::to_string(g) + "/bar",
+                             group_size)) {
+            ok = false;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+
+  GroupInitResult result;
+  result.wall_time = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  result.ok = ok;
+  return result;
+}
+
+}  // namespace ms::collective

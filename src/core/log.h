@@ -1,0 +1,51 @@
+// Minimal leveled logging.
+//
+// The simulation itself communicates through return values; logging exists
+// for debug tracing of long experiments and is off (WARN) by default so the
+// bench output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr: "[LEVEL] message".
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define MS_LOG(level_enum)                                     \
+  if (::ms::log_level() <= ::ms::LogLevel::level_enum)         \
+  ::ms::detail::LogLine(::ms::LogLevel::level_enum)
+
+#define MS_LOG_DEBUG MS_LOG(kDebug)
+#define MS_LOG_INFO MS_LOG(kInfo)
+#define MS_LOG_WARN MS_LOG(kWarn)
+#define MS_LOG_ERROR MS_LOG(kError)
+
+}  // namespace ms

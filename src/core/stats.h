@@ -1,0 +1,98 @@
+// Lightweight statistics helpers used across diagnosis and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ms {
+
+/// Streaming mean / variance / min / max (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact-percentile sample set. Keeps all samples; fine for the experiment
+/// sizes in this repository (<= millions of values).
+class Percentiles {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// q in [0, 1]; linear interpolation between closest ranks.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+  /// Simple multi-line ASCII rendering (for bench/table output).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// A (x, y) series, used for loss curves and MFU-over-time plots.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+  std::size_t size() const { return x.size(); }
+
+  /// Mean of y over the trailing k points (k clamped to size).
+  double tail_mean(std::size_t k) const;
+};
+
+/// Render one or more series as an ASCII line chart. Each series gets its own
+/// glyph; axes are annotated with min/max. Used by bench binaries to emit the
+/// paper's figures on a terminal.
+std::string ascii_chart(const std::vector<Series>& series, std::size_t width = 72,
+                        std::size_t height = 18);
+
+}  // namespace ms

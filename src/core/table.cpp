@@ -1,0 +1,81 @@
+#include "core/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace ms {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_line = [&](std::ostringstream& out) {
+    out << '+';
+    for (auto w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto emit_row = [&](std::ostringstream& out, const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ') << '|';
+    }
+    out << '\n';
+  };
+
+  std::ostringstream out;
+  emit_line(out);
+  emit_row(out, headers_);
+  emit_line(out);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_line(out);
+    } else {
+      emit_row(out, row);
+    }
+  }
+  emit_line(out);
+  return out.str();
+}
+
+void Table::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace ms

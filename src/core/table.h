@@ -1,0 +1,34 @@
+// Aligned text tables — every bench binary prints the paper's tables with
+// this helper so the output format is uniform.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ms {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience formatters for numeric cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double fraction, int precision = 1);  // 0.552 -> "55.2%"
+
+  /// Inserts a horizontal separator line after the current last row.
+  void add_separator();
+
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace ms

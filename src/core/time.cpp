@@ -1,0 +1,30 @@
+#include "core/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ms {
+
+std::string format_duration(TimeNs t) {
+  char buf[64];
+  const bool neg = t < 0;
+  const double abs_ns = std::fabs(static_cast<double>(t));
+  const char* sign = neg ? "-" : "";
+  if (abs_ns >= 3600.0 * kNsPerSec) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fh", sign, abs_ns / (3600.0 * kNsPerSec));
+  } else if (abs_ns >= 60.0 * kNsPerSec) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fmin", sign, abs_ns / (60.0 * kNsPerSec));
+  } else if (abs_ns >= kNsPerSec) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, abs_ns / kNsPerSec);
+  } else if (abs_ns >= kNsPerMs) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign, abs_ns / kNsPerMs);
+  } else if (abs_ns >= kNsPerUs) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", sign, abs_ns / kNsPerUs);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldns", sign,
+                  static_cast<long long>(std::llround(abs_ns)));
+  }
+  return buf;
+}
+
+}  // namespace ms

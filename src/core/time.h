@@ -1,0 +1,52 @@
+// Simulated-time primitives shared by every MegaScale subsystem.
+//
+// All simulation modules express time as integral nanoseconds (TimeNs).
+// Integral time keeps the discrete-event engine deterministic across
+// platforms: there is no floating-point drift when two events are scheduled
+// from different code paths that should coincide.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ms {
+
+/// Simulated time, in nanoseconds since the start of the simulation.
+using TimeNs = std::int64_t;
+
+/// Duration aliases — constructors for readable call sites.
+constexpr TimeNs kNsPerUs = 1'000;
+constexpr TimeNs kNsPerMs = 1'000'000;
+constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+constexpr TimeNs nanoseconds(std::int64_t n) { return n; }
+constexpr TimeNs microseconds(double us) {
+  return static_cast<TimeNs>(us * static_cast<double>(kNsPerUs));
+}
+constexpr TimeNs milliseconds(double ms) {
+  return static_cast<TimeNs>(ms * static_cast<double>(kNsPerMs));
+}
+constexpr TimeNs seconds(double s) {
+  return static_cast<TimeNs>(s * static_cast<double>(kNsPerSec));
+}
+constexpr TimeNs minutes(double m) { return seconds(m * 60.0); }
+constexpr TimeNs hours(double h) { return seconds(h * 3600.0); }
+constexpr TimeNs days(double d) { return hours(d * 24.0); }
+
+constexpr double to_seconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerSec);
+}
+constexpr double to_milliseconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerMs);
+}
+constexpr double to_microseconds(TimeNs t) {
+  return static_cast<double>(t) / static_cast<double>(kNsPerUs);
+}
+constexpr double to_minutes(TimeNs t) { return to_seconds(t) / 60.0; }
+constexpr double to_hours(TimeNs t) { return to_seconds(t) / 3600.0; }
+constexpr double to_days(TimeNs t) { return to_hours(t) / 24.0; }
+
+/// Human-readable rendering, e.g. "1.25s", "380ms", "12.3us", "2.1h".
+std::string format_duration(TimeNs t);
+
+}  // namespace ms

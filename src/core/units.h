@@ -1,0 +1,39 @@
+// Data-size and bandwidth units.
+//
+// Bandwidths are expressed in bytes per second (double); sizes in bytes
+// (std::int64_t). Helpers keep unit conversions explicit at call sites —
+// mixing Gb/s (network links) and GB/s (memory/PCIe) is the classic source
+// of silent 8x errors in systems models.
+#pragma once
+
+#include <cstdint>
+
+namespace ms {
+
+using Bytes = std::int64_t;
+
+constexpr Bytes operator""_B(unsigned long long v) { return static_cast<Bytes>(v); }
+constexpr Bytes operator""_KiB(unsigned long long v) { return static_cast<Bytes>(v) << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return static_cast<Bytes>(v) << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return static_cast<Bytes>(v) << 30; }
+
+/// Bandwidth in bytes/second.
+using Bandwidth = double;
+
+constexpr Bandwidth gbps(double gigabits_per_second) {
+  return gigabits_per_second * 1e9 / 8.0;  // bits -> bytes
+}
+constexpr Bandwidth gBps(double gigabytes_per_second) {
+  return gigabytes_per_second * 1e9;
+}
+constexpr double to_gbps(Bandwidth b) { return b * 8.0 / 1e9; }
+constexpr double to_gBps(Bandwidth b) { return b / 1e9; }
+
+/// FLOP counts; aggregate model FLOPs overflow 32-bit easily, and 175B-model
+/// iteration FLOPs (~1e19) even strain int64 headroom, so use double.
+using Flops = double;
+
+constexpr Flops tera(double v) { return v * 1e12; }
+constexpr Flops peta(double v) { return v * 1e15; }
+
+}  // namespace ms

@@ -1,0 +1,68 @@
+#include "data/shm.h"
+
+#include <cassert>
+
+namespace ms::data {
+
+ShmBroadcastBuffer::ShmBroadcastBuffer(int consumers, std::size_t slots)
+    : slots_(slots), consumers_(consumers) {
+  assert(consumers >= 1 && slots >= 1);
+}
+
+bool ShmBroadcastBuffer::publish(std::vector<std::uint8_t> batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Slot* slot = nullptr;
+  cv_.wait(lock, [&] {
+    if (closed_) return true;
+    for (auto& s : slots_) {
+      if (s.remaining_readers == 0) {
+        slot = &s;
+        return true;
+      }
+    }
+    return false;
+  });
+  if (closed_) return false;
+  slot->generation = next_generation_++;
+  slot->remaining_readers = consumers_;
+  slot->data = std::move(batch);
+  cv_.notify_all();
+  return true;
+}
+
+std::vector<std::uint8_t> ShmBroadcastBuffer::fetch(std::int64_t generation) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Slot* slot = nullptr;
+  cv_.wait(lock, [&] {
+    if (closed_ && next_generation_ <= generation) return true;
+    for (auto& s : slots_) {
+      if (s.generation == generation && s.remaining_readers > 0) {
+        slot = &s;
+        return true;
+      }
+    }
+    return false;
+  });
+  if (slot == nullptr) return {};  // closed before this generation
+  std::vector<std::uint8_t> copy = slot->data;
+  if (--slot->remaining_readers == 0) {
+    // Slot is free for the producer again (keep data until overwritten).
+    cv_.notify_all();
+  }
+  return copy;
+}
+
+void ShmBroadcastBuffer::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::int64_t ShmBroadcastBuffer::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_generation_;
+}
+
+}  // namespace ms::data

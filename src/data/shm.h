@@ -1,0 +1,56 @@
+// Shared-memory broadcast buffer: the real mechanism behind MegaScale's
+// two-layer tree-based data loading (§3.4).
+//
+// One producer (the machine's single dedicated dataloader) publishes each
+// step's batch into a generation-stamped buffer; every consumer (GPU
+// worker) fetches exactly one copy of every generation. The producer may
+// run one generation ahead (double buffering), which is what lets disk
+// reads overlap with the consumers of the previous step.
+//
+// This is real concurrent code (threads + condition variables), exercised
+// by integration tests and a microbenchmark — not a simulation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ms::data {
+
+class ShmBroadcastBuffer {
+ public:
+  /// `consumers`: number of GPU workers that must read each batch.
+  explicit ShmBroadcastBuffer(int consumers, std::size_t slots = 2);
+
+  /// Publishes the next batch. Blocks while all slots are still occupied by
+  /// unconsumed generations. Returns false after close().
+  bool publish(std::vector<std::uint8_t> batch);
+
+  /// Fetches generation `generation` (consumers must fetch 0, 1, 2, ... in
+  /// order). Blocks until available. Returns empty after close() if the
+  /// generation was never published.
+  std::vector<std::uint8_t> fetch(std::int64_t generation);
+
+  /// Wakes all waiters; subsequent publishes fail and unpublished fetches
+  /// return empty.
+  void close();
+
+  std::int64_t published() const;
+
+ private:
+  struct Slot {
+    std::int64_t generation = -1;
+    int remaining_readers = 0;
+    std::vector<std::uint8_t> data;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  int consumers_;
+  std::int64_t next_generation_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ms::data

@@ -1,0 +1,104 @@
+#include "diag/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ms::diag {
+
+void PerformanceHeatmap::add_sample(int machine, const std::string& phase,
+                                    double seconds) {
+  if (std::find(phase_order_.begin(), phase_order_.end(), phase) ==
+      phase_order_.end()) {
+    phase_order_.push_back(phase);
+  }
+  cells_[machine][phase].add(seconds);
+}
+
+int PerformanceHeatmap::machine_count() const {
+  return static_cast<int>(cells_.size());
+}
+
+std::vector<std::string> PerformanceHeatmap::phases() const {
+  return phase_order_;
+}
+
+double PerformanceHeatmap::mean(int machine, const std::string& phase) const {
+  auto mit = cells_.find(machine);
+  if (mit == cells_.end()) return 0.0;
+  auto pit = mit->second.find(phase);
+  if (pit == mit->second.end()) return 0.0;
+  return pit->second.mean();
+}
+
+double PerformanceHeatmap::machine_score(int machine) const {
+  // Mean over phases of (machine latency / phase median latency).
+  double score = 0.0;
+  int counted = 0;
+  for (const auto& phase : phase_order_) {
+    Percentiles all;
+    for (const auto& [m, row] : cells_) {
+      auto it = row.find(phase);
+      if (it != row.end()) all.add(it->second.mean());
+    }
+    if (all.empty()) continue;
+    const double median = all.median();
+    const double mine = mean(machine, phase);
+    if (median > 0 && mine > 0) {
+      score += mine / median;
+      ++counted;
+    }
+  }
+  return counted > 0 ? score / counted : 1.0;
+}
+
+std::vector<int> PerformanceHeatmap::outliers(double threshold) const {
+  std::vector<int> result;
+  for (const auto& [machine, _] : cells_) {
+    if (machine_score(machine) > 1.0 + threshold) result.push_back(machine);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::string PerformanceHeatmap::ascii(double outlier_threshold) const {
+  static const char kShades[] = " .:-=+*#%@";
+  std::vector<int> machines;
+  for (const auto& [m, _] : cells_) machines.push_back(m);
+  std::sort(machines.begin(), machines.end());
+
+  // Per-phase min/max for shading.
+  std::ostringstream out;
+  out << "machine |";
+  for (const auto& p : phase_order_) out << ' ' << p << " |";
+  out << '\n';
+  const auto outlier_list = outliers(outlier_threshold);
+  for (int m : machines) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%7d |", m);
+    out << buf;
+    for (const auto& phase : phase_order_) {
+      double lo = 1e300, hi = -1e300;
+      for (int other : machines) {
+        const double v = mean(other, phase);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      const double v = mean(m, phase);
+      int shade = 0;
+      if (hi > lo) {
+        shade = static_cast<int>((v - lo) / (hi - lo) * 9.0);
+        shade = std::clamp(shade, 0, 9);
+      }
+      const std::string glyphs(phase.size(), kShades[shade]);
+      out << ' ' << glyphs << " |";
+    }
+    if (std::binary_search(outlier_list.begin(), outlier_list.end(), m)) {
+      out << "  << STRAGGLER";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ms::diag

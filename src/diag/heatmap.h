@@ -1,0 +1,44 @@
+// Performance heat-map and straggler detection (MegaScale §5.1, Figure 7).
+//
+// The CUDA-event timer records the latency of critical code segments
+// (forward, backward) per machine per step; averaging across steps and
+// rendering machines x phases as a heat map exposes the ~0.5% of machines
+// that run ~10% slower and gate the whole job.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace ms::diag {
+
+class PerformanceHeatmap {
+ public:
+  /// Adds one latency sample (seconds) for a machine and phase
+  /// ("fwd"/"bwd"/...).
+  void add_sample(int machine, const std::string& phase, double seconds);
+
+  int machine_count() const;
+  std::vector<std::string> phases() const;
+
+  /// Mean latency of a machine in a phase (0 if no samples).
+  double mean(int machine, const std::string& phase) const;
+
+  /// Machines whose mean latency (averaged over phases, normalized per
+  /// phase) exceeds the median machine by more than `threshold` fraction.
+  std::vector<int> outliers(double threshold = 0.05) const;
+
+  /// Figure-7-style ASCII rendering: one row per machine, one column block
+  /// per phase; intensity glyphs scale with latency; outliers are marked.
+  std::string ascii(double outlier_threshold = 0.05) const;
+
+ private:
+  double machine_score(int machine) const;  // mean of per-phase normalized
+
+  std::unordered_map<int, std::unordered_map<std::string, RunningStat>> cells_;
+  std::vector<std::string> phase_order_;
+};
+
+}  // namespace ms::diag

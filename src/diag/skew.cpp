@@ -1,0 +1,82 @@
+#include "diag/skew.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ms::diag {
+
+void LaunchSkewAnalyzer::record(std::int64_t step, int rank,
+                                TimeNs launch_time) {
+  steps_[step][rank] = launch_time;
+}
+
+TimeNs LaunchSkewAnalyzer::skew_at(std::int64_t step) const {
+  auto it = steps_.find(step);
+  if (it == steps_.end() || it->second.size() < 2) return 0;
+  TimeNs lo = it->second.begin()->second, hi = lo;
+  for (const auto& [rank, t] : it->second) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  return hi - lo;
+}
+
+namespace {
+/// Least-squares slope of y against x.
+double slope(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  return den > 0 ? num / den : 0.0;
+}
+}  // namespace
+
+double LaunchSkewAnalyzer::skew_growth_per_step() const {
+  std::vector<double> xs, ys;
+  for (const auto& [step, ranks] : steps_) {
+    (void)ranks;
+    xs.push_back(static_cast<double>(step));
+    ys.push_back(to_seconds(skew_at(step)));
+  }
+  return slope(xs, ys);
+}
+
+std::vector<int> LaunchSkewAnalyzer::drifting_ranks(
+    double threshold_s_per_step) const {
+  // Per-step median launch, then per-rank |offset| series.
+  std::map<int, std::vector<double>> offsets;  // rank -> |offset| per step
+  std::map<int, std::vector<double>> step_index;
+  for (const auto& [step, ranks] : steps_) {
+    if (ranks.size() < 2) continue;
+    std::vector<double> launches;
+    for (const auto& [rank, t] : ranks) launches.push_back(to_seconds(t));
+    std::nth_element(launches.begin(),
+                     launches.begin() + static_cast<long>(launches.size() / 2),
+                     launches.end());
+    const double median = launches[launches.size() / 2];
+    for (const auto& [rank, t] : ranks) {
+      offsets[rank].push_back(std::fabs(to_seconds(t) - median));
+      step_index[rank].push_back(static_cast<double>(step));
+    }
+  }
+  std::vector<int> drifting;
+  for (const auto& [rank, series] : offsets) {
+    if (slope(step_index[rank], series) > threshold_s_per_step) {
+      drifting.push_back(rank);
+    }
+  }
+  return drifting;
+}
+
+}  // namespace ms::diag

@@ -1,0 +1,46 @@
+// Collective launch-skew analysis (MegaScale §6.3, "MFU decreasing").
+//
+// The production investigation: per-step time was creeping up although
+// forward/backward/optimizer compute stayed flat; the culprit was the
+// LAUNCH TIME of the data-parallel reduce-scatter drifting apart across
+// ranks ("not consistently staggered but rather fluctuating reciprocally",
+// with the stagger growing over steps), so every rank waited on the
+// slowest. This analyzer ingests per-step, per-rank launch timestamps and
+// answers the two diagnostic questions:
+//   * is the stagger growing? (linear trend of the per-step skew)
+//   * which ranks drift?     (per-rank offset trend against the per-step
+//     median)
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/time.h"
+
+namespace ms::diag {
+
+class LaunchSkewAnalyzer {
+ public:
+  /// Records that `rank` launched the tracked collective of `step` at
+  /// simulated/wall time `launch_time`.
+  void record(std::int64_t step, int rank, TimeNs launch_time);
+
+  std::size_t steps_observed() const { return steps_.size(); }
+
+  /// Stagger of one step: latest minus earliest launch (0 if <2 ranks).
+  TimeNs skew_at(std::int64_t step) const;
+
+  /// Least-squares slope of skew vs step, in seconds per step. Positive
+  /// and significant => the §6.3 pathology.
+  double skew_growth_per_step() const;
+
+  /// Ranks whose |offset from the per-step median| grows faster than
+  /// `threshold_s_per_step` (the drifting ranks worth inspecting).
+  std::vector<int> drifting_ranks(double threshold_s_per_step) const;
+
+ private:
+  // step -> rank -> launch time.
+  std::map<std::int64_t, std::map<int, TimeNs>> steps_;
+};
+
+}  // namespace ms::diag

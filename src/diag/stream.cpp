@@ -1,0 +1,77 @@
+#include "diag/stream.h"
+
+namespace ms::diag {
+
+void EventStore::ingest(const EventRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+  agg_[{record.rank, record.segment}].add(to_seconds(record.duration));
+}
+
+std::size_t EventStore::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+double EventStore::mean_duration_s(int rank, const std::string& segment) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = agg_.find({rank, segment});
+  return it == agg_.end() ? 0.0 : it->second.mean();
+}
+
+std::vector<EventRecord> EventStore::step_records(std::int64_t step) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EventRecord> result;
+  for (const auto& r : records_) {
+    if (r.step == step) result.push_back(r);
+  }
+  return result;
+}
+
+EventStreamer::EventStreamer(EventStore& store, std::size_t queue_capacity)
+    : store_(store),
+      capacity_(queue_capacity),
+      consumer_([this] { consumer_loop(); }) {}
+
+EventStreamer::~EventStreamer() { close(); }
+
+bool EventStreamer::publish(EventRecord record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(record));
+  cv_.notify_all();
+  return true;
+}
+
+void EventStreamer::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return;
+    }
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (consumer_.joinable()) consumer_.join();
+}
+
+void EventStreamer::consumer_loop() {
+  for (;;) {
+    EventRecord record;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (closed_) return;
+        continue;
+      }
+      record = std::move(queue_.front());
+      queue_.pop_front();
+      cv_.notify_all();  // unblock producers waiting on capacity
+    }
+    store_.ingest(record);
+  }
+}
+
+}  // namespace ms::diag

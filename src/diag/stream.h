@@ -1,0 +1,79 @@
+// Event streaming pipeline (MegaScale §5.1, last paragraph).
+//
+// In production, the CUDA-event timer appends records to a local file; a
+// separate streamer process ships the file to a Kafka queue, and an
+// analytical database consumes the queue so any step's events can be
+// queried on the fly without touching the training job.
+//
+// Reproduced here with real threads: producers push records into a bounded
+// queue (the "Kafka topic"); a consumer thread drains it into an in-memory
+// analytical store with per-rank/per-step aggregation queries.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/time.h"
+
+namespace ms::diag {
+
+struct EventRecord {
+  int rank = 0;
+  std::int64_t step = 0;
+  std::string segment;  // "fwd", "bwd", ...
+  TimeNs duration = 0;
+};
+
+/// The "analytical database": aggregated event storage with queries.
+class EventStore {
+ public:
+  void ingest(const EventRecord& record);
+
+  std::size_t total_events() const;
+  /// Mean duration of a segment on a rank across steps.
+  double mean_duration_s(int rank, const std::string& segment) const;
+  /// All records of one step (for drill-down).
+  std::vector<EventRecord> step_records(std::int64_t step) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<EventRecord> records_;
+  std::map<std::pair<int, std::string>, RunningStat> agg_;
+};
+
+/// Bounded queue + consumer thread shipping records into the store.
+class EventStreamer {
+ public:
+  EventStreamer(EventStore& store, std::size_t queue_capacity = 4096);
+  ~EventStreamer();
+
+  /// Producer side; blocks when the queue is full (backpressure). Returns
+  /// false after close().
+  bool publish(EventRecord record);
+
+  /// Flushes the queue and stops the consumer.
+  void close();
+
+  std::size_t dropped() const { return 0; }  // bounded+blocking: no drops
+
+ private:
+  void consumer_loop();
+
+  EventStore& store_;
+  std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<EventRecord> queue_;
+  bool closed_ = false;
+  std::thread consumer_;
+};
+
+}  // namespace ms::diag

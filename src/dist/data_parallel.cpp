@@ -1,0 +1,138 @@
+#include "dist/data_parallel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ms::dist {
+
+Buffer flatten_params(const std::vector<optim::Param>& params, int multiple) {
+  Buffer flat;
+  for (const auto& p : params) {
+    flat.insert(flat.end(), p.tensor.data(), p.tensor.data() + p.tensor.numel());
+  }
+  while (flat.size() % static_cast<std::size_t>(multiple) != 0) {
+    flat.push_back(0.0f);
+  }
+  return flat;
+}
+
+Buffer flatten_grads(const std::vector<optim::Param>& params, int multiple) {
+  Buffer flat;
+  for (const auto& p : params) {
+    // grad() materializes zeros if the buffer is missing.
+    auto& tensor = const_cast<optim::Tensor&>(p.tensor);
+    flat.insert(flat.end(), tensor.grad(), tensor.grad() + tensor.numel());
+  }
+  while (flat.size() % static_cast<std::size_t>(multiple) != 0) {
+    flat.push_back(0.0f);
+  }
+  return flat;
+}
+
+void unflatten_into_params(const Buffer& flat,
+                           std::vector<optim::Param>& params) {
+  std::size_t offset = 0;
+  for (auto& p : params) {
+    const auto n = static_cast<std::size_t>(p.tensor.numel());
+    assert(offset + n <= flat.size());
+    std::copy_n(flat.data() + offset, n, p.tensor.data());
+    offset += n;
+  }
+}
+
+Zero2DataParallel::Zero2DataParallel(const optim::TinyGptConfig& cfg,
+                                     int replicas, std::uint64_t init_seed,
+                                     optim::AdamHyper hyper)
+    : hyper_(hyper) {
+  assert(replicas >= 1);
+  for (int r = 0; r < replicas; ++r) {
+    Rng rng(init_seed);  // identical init across replicas
+    models_.emplace_back(cfg, rng);
+  }
+  for (auto& model : models_) params_.push_back(model.parameters());
+
+  const Buffer flat = flatten_params(params_.front(), replicas);
+  shard_size_ = flat.size() / static_cast<std::size_t>(replicas);
+  m_.assign(static_cast<std::size_t>(replicas), Buffer(shard_size_, 0.0f));
+  v_.assign(static_cast<std::size_t>(replicas), Buffer(shard_size_, 0.0f));
+}
+
+double Zero2DataParallel::step(const std::vector<std::vector<int>>& batch,
+                               float lr) {
+  const int k = replicas();
+  assert(batch.size() % static_cast<std::size_t>(k) == 0);
+  const std::size_t per_replica = batch.size() / static_cast<std::size_t>(k);
+  const float inv_batch = 1.0f / static_cast<float>(batch.size());
+
+  // --- local forward/backward on each replica's slice ---
+  double total_loss = 0.0;
+  std::vector<Buffer> grads;
+  grads.reserve(static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    for (auto& p : params_[static_cast<std::size_t>(r)]) p.tensor.zero_grad();
+    for (std::size_t i = 0; i < per_replica; ++i) {
+      const auto& seq = batch[static_cast<std::size_t>(r) * per_replica + i];
+      optim::Tensor loss =
+          optim::scale(models_[static_cast<std::size_t>(r)].loss(seq), inv_batch);
+      loss.backward();
+      total_loss += static_cast<double>(loss.item()) / inv_batch;
+    }
+    grads.push_back(flatten_grads(params_[static_cast<std::size_t>(r)], k));
+  }
+
+  // --- ZeRO-2: gradient reduce-scatter (each replica owns one shard) ---
+  std::vector<const Buffer*> grad_ptrs;
+  for (const auto& g : grads) grad_ptrs.push_back(&g);
+  std::vector<Buffer> grad_shards = reduce_scatter_sum(grad_ptrs, k);
+
+  // --- sharded Adam update ---
+  ++t_;
+  const float bc1 = 1.0f - std::pow(hyper_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(hyper_.beta2, static_cast<float>(t_));
+  Buffer reference = flatten_params(params_.front(), k);
+  std::vector<Buffer> param_shards(static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    Buffer& shard = param_shards[static_cast<std::size_t>(r)];
+    shard.assign(reference.begin() + static_cast<long>(r) * static_cast<long>(shard_size_),
+                 reference.begin() + (static_cast<long>(r) + 1) * static_cast<long>(shard_size_));
+    Buffer& m = m_[static_cast<std::size_t>(r)];
+    Buffer& v = v_[static_cast<std::size_t>(r)];
+    const Buffer& g = grad_shards[static_cast<std::size_t>(r)];
+    for (std::size_t j = 0; j < shard_size_; ++j) {
+      m[j] = hyper_.beta1 * m[j] + (1.0f - hyper_.beta1) * g[j];
+      v[j] = hyper_.beta2 * v[j] + (1.0f - hyper_.beta2) * g[j] * g[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      shard[j] -= lr * (m_hat / (std::sqrt(v_hat) + hyper_.eps) +
+                        hyper_.weight_decay * shard[j]);
+    }
+  }
+
+  // --- parameter all-gather, installed on every replica ---
+  std::vector<const Buffer*> shard_ptrs;
+  for (const auto& s : param_shards) shard_ptrs.push_back(&s);
+  const Buffer updated = all_gather_concat(shard_ptrs);
+  for (auto& params : params_) {
+    unflatten_into_params(updated, params);
+  }
+  return total_loss / static_cast<double>(batch.size());
+}
+
+Buffer Zero2DataParallel::flat_params(int r) const {
+  return flatten_params(params_[static_cast<std::size_t>(r)], replicas());
+}
+
+double Zero2DataParallel::max_replica_divergence() const {
+  double worst = 0.0;
+  const Buffer reference = flat_params(0);
+  for (int r = 1; r < replicas(); ++r) {
+    const Buffer other = flat_params(r);
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      worst = std::max(worst,
+                       std::fabs(static_cast<double>(reference[i]) - other[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace ms::dist

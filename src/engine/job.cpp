@@ -1,0 +1,428 @@
+#include "engine/job.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <string>
+
+#include "parallel/overlap.h"
+#include "parallel/pipeline.h"
+#include "parallel/zero.h"
+#include "sim/engine.h"
+
+namespace ms::engine {
+
+namespace {
+
+using parallel::PassType;
+
+/// Stream layout: 4 streams per stage + one data-pipeline stream.
+constexpr int kStreamsPerStage = 4;
+sim::StreamId compute_stream(int s) { return s * kStreamsPerStage + 0; }
+sim::StreamId send_stream(int s) { return s * kStreamsPerStage + 1; }
+sim::StreamId recv_stream(int s) { return s * kStreamsPerStage + 2; }
+sim::StreamId dp_stream(int s) { return s * kStreamsPerStage + 3; }
+
+struct ChunkTimes {
+  TimeNs fwd = 0;  // one microbatch through one model chunk, TP comm folded
+  TimeNs bwd = 0;
+  TimeNs fwd_last = 0;  // variant with logits head (last stage, last chunk)
+  TimeNs bwd_last = 0;
+};
+
+}  // namespace
+
+std::string validate(const JobConfig& cfg) {
+  if (!cfg.par.valid()) return "invalid parallel config";
+  if (cfg.global_batch % cfg.par.dp != 0) {
+    return "global batch must divide evenly across DP replicas";
+  }
+  const int m = cfg.microbatches_per_replica();
+  if (cfg.par.vpp > 1 && m % cfg.par.pp != 0) {
+    return "interleaved schedule requires microbatches % pp == 0";
+  }
+  if (cfg.model.layers % (cfg.par.pp * cfg.par.vpp) != 0) {
+    return "layers must divide evenly into pp*vpp chunks";
+  }
+  if (!cfg.stage_speed.empty() &&
+      static_cast<int>(cfg.stage_speed.size()) != cfg.par.pp) {
+    return "stage_speed must have pp entries";
+  }
+  if (cfg.par.pp == 1 && cfg.par.vpp != 1) {
+    return "vpp > 1 requires pp > 1";
+  }
+  if (cfg.schedule == PipelineSchedule::kGpipe && cfg.par.vpp != 1) {
+    return "GPipe schedule does not support interleaving (vpp must be 1)";
+  }
+  return "";
+}
+
+IterationResult simulate_iteration(const JobConfig& cfg) {
+  const std::string err = validate(cfg);
+  assert(err.empty() && "invalid JobConfig");
+  if (!err.empty()) return {};
+
+  const auto& par = cfg.par;
+  const int pp = par.pp;
+  const int vpp = par.vpp;
+  const int m = cfg.microbatches_per_replica();
+  const int layers_per_chunk = cfg.model.layers / (pp * vpp);
+  const std::int64_t micro_tokens = cfg.model.seq_len;  // 1 sequence/microbatch
+  const std::int64_t elem_tokens =
+      par.sequence_parallel ? micro_tokens / par.tp : micro_tokens;
+
+  const model::OpCostModel cost(cfg.model, cfg.ops, cfg.cluster.gpu);
+  const collective::CollectiveModel coll(cfg.cluster, cfg.network_efficiency);
+  const parallel::Zero2Sharding zero(model::params_count(cfg.model), par);
+
+  // ---- per-layer TP/SP communication (§3.2, Figure 3) ----
+  const Bytes act_bytes = micro_tokens * cfg.model.hidden * 2;
+  // Parallel transformer block: attention and MLP branch from the same
+  // LN(x), so one all-gather feeds both and one reduce-scatter merges both.
+  const int tp_comms_per_layer = cfg.model.parallel_block ? 1 : 2;
+  TimeNs tp_comm_fwd_layer = 0;
+  if (par.tp > 1) {
+    const TimeNs ag =
+        coll.all_gather(act_bytes, par.tp, collective::Domain::kIntraNode);
+    const TimeNs rs =
+        coll.reduce_scatter(act_bytes, par.tp, collective::Domain::kIntraNode);
+    tp_comm_fwd_layer = tp_comms_per_layer * (ag + rs);
+  }
+  const TimeNs tp_comm_bwd_layer = tp_comm_fwd_layer;  // mirrored pattern
+
+  // ---- chunk compute durations with TP comm folded in ----
+  const TimeNs fwd_layer_compute =
+      cost.fwd_layer(micro_tokens, elem_tokens, par.tp);
+  const TimeNs bwd_layer_compute =
+      cost.bwd_layer(micro_tokens, elem_tokens, par.tp);
+
+  auto fold_tp = [&](TimeNs compute, TimeNs comm) -> TimeNs {
+    if (comm == 0) return compute;
+    if (cfg.overlap.tp_overlap) {
+      return parallel::chunked_overlap(compute, comm,
+                                       cfg.overlap.tp_overlap_chunks)
+          .total;
+    }
+    return compute + comm;
+  };
+
+  ChunkTimes chunk;
+  chunk.fwd = layers_per_chunk * fold_tp(fwd_layer_compute, tp_comm_fwd_layer);
+  chunk.bwd = layers_per_chunk * fold_tp(bwd_layer_compute, tp_comm_bwd_layer);
+  if (cfg.full_recompute) {
+    // The backward pass first re-runs the chunk's forward (including its
+    // TP communication) to rebuild activations from the stored boundary.
+    chunk.bwd += chunk.fwd;
+  }
+  const TimeNs logits_fwd = cost.fwd_logits(micro_tokens, par.tp);
+  chunk.fwd_last = chunk.fwd + logits_fwd;
+  chunk.bwd_last = chunk.bwd + 2 * logits_fwd;
+
+  // ---- pipeline p2p transfer ----
+  const Bytes p2p_bytes =
+      par.sequence_parallel ? act_bytes / par.tp : act_bytes;
+  const TimeNs p2p_time =
+      coll.send_recv(p2p_bytes, collective::Domain::kInterNode);
+
+  // ---- DP collectives (ZeRO, §2 Figure 1) ----
+  // Stage 2 (the paper's choice): param all-gather forward + gradient
+  // reduce-scatter backward — together exactly one all-reduce's volume.
+  // Stage 1: gradients are still all-reduced in full (2x the reduce-scatter
+  // volume) and updated params all-gathered.
+  // Stage 3: parameters are re-gathered for the backward pass as well
+  // (second all-gather per chunk).
+  TimeNs dp_ag_chunk = 0, dp_rs_chunk = 0;
+  if (par.dp > 1) {
+    dp_ag_chunk = coll.all_gather(zero.allgather_bytes_per_chunk(), par.dp,
+                                  collective::Domain::kInterNode);
+    dp_rs_chunk = coll.reduce_scatter(zero.reducescatter_bytes_per_chunk(),
+                                      par.dp, collective::Domain::kInterNode);
+    if (par.zero_stage <= 1) {
+      dp_rs_chunk = coll.all_reduce(zero.reducescatter_bytes_per_chunk(),
+                                    par.dp, collective::Domain::kInterNode);
+    } else if (par.zero_stage >= 3) {
+      dp_ag_chunk *= 2;  // forward + backward parameter gathers
+    }
+  }
+  const TimeNs optimizer_time =
+      cost.optimizer_step(zero.optimizer_shard_params());
+
+  // ---- build the DAG ----
+  sim::Engine sim_engine;
+  sim::GraphExecutor graph(static_cast<std::size_t>(pp * kStreamsPerStage + 1));
+  const sim::StreamId data_stream =
+      static_cast<sim::StreamId>(pp * kStreamsPerStage);
+
+  const TimeNs data_time =
+      cfg.overlap.async_data_pipeline ? 0 : cfg.data_pipeline_time;
+  const sim::OpId data_op = graph.add_op(
+      {.name = "data-load", .stream = data_stream, .duration = data_time,
+       .tag = "data"});
+
+  auto stage_factor = [&](int s) -> double {
+    return cfg.stage_speed.empty() ? 1.0
+                                   : cfg.stage_speed[static_cast<std::size_t>(s)];
+  };
+  auto scaled = [&](TimeNs t, int s) -> TimeNs {
+    return static_cast<TimeNs>(static_cast<double>(t) * stage_factor(s));
+  };
+
+  // Compute op per (stage, chunk, microbatch, pass).
+  std::map<std::tuple<int, int, int, int>, sim::OpId> compute_ops;
+
+  // Incoming-transfer topology. Producer of F(s,c,mb):
+  //   s > 0            -> F(s-1, c,   mb)
+  //   s == 0 && c > 0  -> F(pp-1, c-1, mb)   (interleaving wrap-around)
+  //   s == 0 && c == 0 -> data pipeline
+  // Producer of B(s,c,mb):
+  //   s < pp-1               -> B(s+1, c,   mb)
+  //   s == pp-1 && c < vpp-1 -> B(0,  c+1, mb)
+  //   s == pp-1 && c == vpp-1 -> local F (no transfer)
+  struct Endpoint {
+    bool exists = false;
+    int stage = 0, chunk = 0, microbatch = 0, is_bwd = 0;
+  };
+  auto producer_of = [&](int s, const parallel::ScheduleEntry& e) -> Endpoint {
+    const bool is_bwd = e.pass == PassType::kBackward;
+    if (!is_bwd) {
+      if (s > 0) return {true, s - 1, e.chunk, e.microbatch, 0};
+      if (e.chunk > 0) return {true, pp - 1, e.chunk - 1, e.microbatch, 0};
+      return {};
+    }
+    if (s < pp - 1) return {true, s + 1, e.chunk, e.microbatch, 1};
+    if (e.chunk < vpp - 1) return {true, 0, e.chunk + 1, e.microbatch, 1};
+    return {};
+  };
+  auto consumer_of = [&](int s, const parallel::ScheduleEntry& e) -> Endpoint {
+    const bool is_bwd = e.pass == PassType::kBackward;
+    if (!is_bwd) {
+      if (s < pp - 1) return {true, s + 1, e.chunk, e.microbatch, 0};
+      if (e.chunk < vpp - 1) return {true, 0, e.chunk + 1, e.microbatch, 0};
+      return {};
+    }
+    if (s > 0) return {true, s - 1, e.chunk, e.microbatch, 1};
+    if (e.chunk > 0) return {true, pp - 1, e.chunk - 1, e.microbatch, 1};
+    return {};
+  };
+
+  // First pass: create compute ops; in coupled (Megatron-LM) mode the
+  // blocking recv/send ops join the stage's program chain right around the
+  // compute op they serve ("send and recv are often implemented together
+  // and can be blocked by the slower one", §3.2); in decoupled (MegaScale)
+  // mode they live on dedicated streams and only the data dependency
+  // remains.
+  std::map<std::tuple<int, int, int, int>, sim::OpId> recv_ops;  // consumer key
+  std::map<std::tuple<int, int, int, int>, sim::OpId> send_ops;  // producer key
+  std::vector<std::vector<parallel::ScheduleEntry>> schedules(
+      static_cast<std::size_t>(pp));
+  for (int s = 0; s < pp; ++s) {
+    schedules[static_cast<std::size_t>(s)] =
+        cfg.schedule == PipelineSchedule::kGpipe
+            ? parallel::gpipe_schedule_for_stage(pp, s, m)
+            : parallel::schedule_for_stage(pp, s, vpp, m);
+    sim::OpId prev = sim::kInvalidOp;
+    auto chain = [&](sim::OpId op) {
+      if (prev != sim::kInvalidOp) graph.add_dep(prev, op);
+      prev = op;
+    };
+    for (const auto& e : schedules[static_cast<std::size_t>(s)]) {
+      const bool is_bwd = e.pass == PassType::kBackward;
+      const auto key = std::make_tuple(s, e.chunk, e.microbatch, is_bwd ? 1 : 0);
+
+      if (!cfg.overlap.pp_decouple && producer_of(s, e).exists) {
+        // Blocking receive: the coupled send/recv holds the receiving side
+        // for the whole transfer too (no compute proceeds under it).
+        sim::OpId rcv = graph.add_op({.name = "recv-wait",
+                                      .stream = compute_stream(s),
+                                      .duration = p2p_time,
+                                      .tag = "pp-comm"});
+        recv_ops[key] = rcv;
+        chain(rcv);
+      }
+
+      const bool has_head = (s == pp - 1) && (e.chunk == vpp - 1);
+      TimeNs dur = is_bwd ? (has_head ? chunk.bwd_last : chunk.bwd)
+                          : (has_head ? chunk.fwd_last : chunk.fwd);
+      dur = scaled(dur, s);
+      sim::OpId op = graph.add_op({.name = is_bwd ? "bwd" : "fwd",
+                                   .stream = compute_stream(s),
+                                   .duration = dur,
+                                   .tag = is_bwd ? "bwd" : "fwd"});
+      compute_ops[key] = op;
+      chain(op);
+
+      if (!cfg.overlap.pp_decouple && consumer_of(s, e).exists) {
+        // Blocking send occupies the compute stream for the wire time.
+        sim::OpId snd = graph.add_op({.name = "send",
+                                      .stream = compute_stream(s),
+                                      .duration = p2p_time,
+                                      .tag = "pp-comm"});
+        send_ops[key] = snd;
+        chain(snd);
+      }
+    }
+  }
+
+  // Second pass: cross-stage data dependencies.
+  for (int s = 0; s < pp; ++s) {
+    for (const auto& e : schedules[static_cast<std::size_t>(s)]) {
+      const bool is_bwd = e.pass == PassType::kBackward;
+      const auto key = std::make_tuple(s, e.chunk, e.microbatch, is_bwd ? 1 : 0);
+      const sim::OpId consumer = compute_ops[key];
+      const Endpoint prod = producer_of(s, e);
+      if (!prod.exists) {
+        if (!is_bwd) {
+          graph.add_dep(data_op, consumer);  // F(0, 0, mb): needs input data
+        } else {
+          // B(pp-1, vpp-1, mb) starts from the local loss computation.
+          graph.add_dep(compute_ops[{s, e.chunk, e.microbatch, 0}], consumer);
+        }
+        continue;
+      }
+      const auto prod_key = std::make_tuple(prod.stage, prod.chunk,
+                                            prod.microbatch, prod.is_bwd);
+      const sim::OpId producer = compute_ops[prod_key];
+      if (cfg.overlap.pp_decouple) {
+        sim::OpId snd = graph.add_op({.name = "send",
+                                      .stream = send_stream(prod.stage),
+                                      .duration = p2p_time,
+                                      .tag = "pp-comm"});
+        sim::OpId rcv = graph.add_op({.name = "recv",
+                                      .stream = recv_stream(s),
+                                      .duration = 0,
+                                      .tag = "pp-comm"});
+        graph.add_dep(producer, snd);
+        graph.add_dep(snd, rcv);
+        graph.add_dep(rcv, consumer);
+      } else {
+        // snd (producer chain) -> rcv wait (consumer chain). The chains
+        // already order rcv before consumer and snd after producer.
+        graph.add_dep(send_ops[prod_key], recv_ops[key]);
+      }
+    }
+  }
+
+  // Third pass: DP collectives + optimizer per stage.
+  std::vector<sim::OpId> optimizer_ops;
+  for (int s = 0; s < pp; ++s) {
+    const auto& sched = schedules[static_cast<std::size_t>(s)];
+    // First forward / last backward per chunk on this stage.
+    std::vector<sim::OpId> first_fwd(static_cast<std::size_t>(vpp),
+                                     sim::kInvalidOp);
+    std::vector<sim::OpId> last_bwd(static_cast<std::size_t>(vpp),
+                                    sim::kInvalidOp);
+    for (const auto& e : sched) {
+      const bool is_bwd = e.pass == PassType::kBackward;
+      const sim::OpId op = compute_ops[{s, e.chunk, e.microbatch, is_bwd ? 1 : 0}];
+      if (!is_bwd && first_fwd[static_cast<std::size_t>(e.chunk)] ==
+                         sim::kInvalidOp) {
+        first_fwd[static_cast<std::size_t>(e.chunk)] = op;
+      }
+      if (is_bwd) last_bwd[static_cast<std::size_t>(e.chunk)] = op;
+    }
+
+    std::vector<sim::OpId> rs_ops;
+    if (par.dp > 1) {
+      if (cfg.overlap.dp_overlap) {
+        // Chunk-wise, priority-ordered: the all-gather of the chunk needed
+        // first carries the highest priority; the first one starts at t=0,
+        // overlapping the data pipeline (the FSDP-inspired prefetch).
+        for (int c = 0; c < vpp; ++c) {
+          sim::OpId ag = graph.add_op({.name = "dp-allgather",
+                                       .stream = dp_stream(s),
+                                       .duration = dp_ag_chunk,
+                                       .priority = vpp - c,
+                                       .tag = "dp-comm"});
+          graph.add_dep(ag, first_fwd[static_cast<std::size_t>(c)]);
+          sim::OpId rs = graph.add_op({.name = "dp-reducescatter",
+                                       .stream = dp_stream(s),
+                                       .duration = dp_rs_chunk,
+                                       .priority = c,
+                                       .tag = "dp-comm"});
+          graph.add_dep(last_bwd[static_cast<std::size_t>(c)], rs);
+          rs_ops.push_back(rs);
+        }
+      } else {
+        // Bucketed at the iteration edges: one all-gather before any
+        // compute, one reduce-scatter after all backwards (the exposed
+        // pattern of stock data-parallel synchronization).
+        sim::OpId ag = graph.add_op(
+            {.name = "dp-allgather",
+             .stream = dp_stream(s),
+             .duration = vpp * dp_ag_chunk,
+             .tag = "dp-comm"});
+        graph.add_dep(data_op, ag);
+        for (int c = 0; c < vpp; ++c) {
+          graph.add_dep(ag, first_fwd[static_cast<std::size_t>(c)]);
+        }
+        sim::OpId rs = graph.add_op(
+            {.name = "dp-reducescatter",
+             .stream = dp_stream(s),
+             .duration = vpp * dp_rs_chunk,
+             .tag = "dp-comm"});
+        for (int c = 0; c < vpp; ++c) {
+          graph.add_dep(last_bwd[static_cast<std::size_t>(c)], rs);
+        }
+        rs_ops.push_back(rs);
+      }
+    }
+
+    sim::OpId opt = graph.add_op({.name = "optimizer",
+                                  .stream = compute_stream(s),
+                                  .duration = scaled(optimizer_time, s),
+                                  .tag = "optimizer"});
+    if (rs_ops.empty()) {
+      for (int c = 0; c < vpp; ++c) {
+        graph.add_dep(last_bwd[static_cast<std::size_t>(c)], opt);
+      }
+    }
+    for (sim::OpId rs : rs_ops) graph.add_dep(rs, opt);
+    optimizer_ops.push_back(opt);
+  }
+
+  const TimeNs makespan = graph.run(sim_engine);
+
+  // ---- metrics ----
+  IterationResult result;
+  result.iteration_time = makespan;
+  const double iter_s = to_seconds(makespan);
+  result.tokens_per_second = cfg.tokens_per_iteration() / iter_s;
+  result.mfu = model::mfu(cfg.model, result.tokens_per_second, cfg.gpus(),
+                          cfg.cluster.gpu.peak_flops);
+  result.aggregate_pflops =
+      model::reference_train_flops_per_token(cfg.model) *
+      result.tokens_per_second / 1e15;
+
+  // Breakdown from spans.
+  TimeNs pipeline_start = makespan, pipeline_end = 0;
+  TimeNs opt_start = makespan;
+  for (const auto& rec : graph.records()) {
+    if (rec.tag == "fwd" || rec.tag == "bwd") {
+      pipeline_start = std::min(pipeline_start, rec.start);
+      pipeline_end = std::max(pipeline_end, rec.end);
+    } else if (rec.tag == "optimizer") {
+      opt_start = std::min(opt_start, rec.start);
+    }
+  }
+  result.breakdown.data_pipeline = graph.record(data_op).end;
+  result.breakdown.pipeline_body = pipeline_end - pipeline_start;
+  result.breakdown.dp_exposed =
+      (pipeline_start - graph.record(data_op).end) +
+      std::max<TimeNs>(0, opt_start - pipeline_end);
+  result.breakdown.optimizer = makespan - opt_start;
+
+  result.stage_compute_busy.resize(static_cast<std::size_t>(pp));
+  for (int s = 0; s < pp; ++s) {
+    result.stage_compute_busy[static_cast<std::size_t>(s)] =
+        graph.stream_busy(compute_stream(s));
+  }
+  result.spans = graph.records();
+  return result;
+}
+
+double training_days(double total_tokens, double tokens_per_second) {
+  assert(tokens_per_second > 0);
+  return total_tokens / tokens_per_second / 86400.0;
+}
+
+}  // namespace ms::engine

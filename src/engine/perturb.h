@@ -1,0 +1,76 @@
+// Straggler and perturbation models (MegaScale §5.1, §6.3, Figures 6/12).
+//
+// Two production pathologies are reproduced:
+//  * Computational stragglers — ~0.5% of machines are ~10% slower on the
+//    same forward/backward work. Machine scheduling is stochastic, so
+//    different runs of the same job land on different machines and exhibit
+//    different MFU (Figure 6); evicting the slow hosts restores consistency
+//    (Figure 12, +0.7% MFU).
+//  * MFU decay from "problematic code segments" — irregular garbage
+//    collection and fluctuating PyTorch CPU paths stagger the collective
+//    launch times of DP ranks; the stagger performs a random walk whose
+//    envelope grows with step count, so every rank eventually waits on the
+//    slowest and the per-step time creeps up. Removing those code paths
+//    leaves only bounded jitter (Figure 12).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "engine/job.h"
+
+namespace ms::engine {
+
+// ------------------------------------------------------------- stragglers
+
+struct StragglerPopulation {
+  double slow_fraction = 0.005;  ///< fraction of machines that are slow
+  double slow_factor = 1.10;     ///< their compute-time multiplier
+  double jitter_sigma = 0.005;   ///< lognormal sigma of healthy machines
+};
+
+/// Samples a per-machine compute speed factor (>= ~1.0) for each machine.
+std::vector<double> sample_machine_speeds(int machines,
+                                          const StragglerPopulation& pop,
+                                          Rng& rng);
+
+struct StragglerFold {
+  TimeNs iteration_time = 0;
+  double mfu = 0;
+  double worst_factor = 1.0;  ///< compute slowdown of the critical replica
+  int slow_machines = 0;      ///< machines above 1.05x in this sample
+};
+
+/// Applies cluster-wide machine speeds to a baseline iteration. Machines
+/// are assigned to DP replicas contiguously (TP groups fill nodes, DP is
+/// the next dimension); each replica runs at its worst member's speed for
+/// the compute fraction of the iteration; the job waits for the slowest
+/// replica at the gradient synchronization point.
+StragglerFold fold_stragglers(const IterationResult& base,
+                              const JobConfig& cfg,
+                              const std::vector<double>& machine_speed);
+
+// --------------------------------------------------- MFU drift (Fig 6/12)
+
+struct PerturbConfig {
+  /// Per-step stagger random-walk sigma per DP replica, as a fraction of
+  /// the base iteration time (problematic code segments).
+  double stagger_walk_sigma = 0.0025;
+  /// Bounded per-step jitter that remains after the fix.
+  double residual_jitter = 0.002;
+  /// Occasional garbage-collection pause.
+  double gc_probability_per_step = 0.002;
+  TimeNs gc_pause = milliseconds(400.0);
+};
+
+/// Simulates `steps` training steps and returns the MFU trajectory
+/// (x = step, y = MFU). `problematic_code` enables the growing-stagger walk;
+/// `machine_speed` (optional) adds the straggler slowdown of the sampled
+/// cluster. Each DP replica carries an independent random walk; the job
+/// time per step is the base time plus the walk envelope maximum.
+Series mfu_over_time(const IterationResult& base, const JobConfig& cfg,
+                     const PerturbConfig& perturb, int steps, bool problematic_code,
+                     const std::vector<double>& machine_speed, Rng& rng);
+
+}  // namespace ms::engine

@@ -1,0 +1,66 @@
+#include "ft/checkpoint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ms::ft {
+
+TimeNs checkpoint_stall(const CheckpointSpec& spec, bool two_stage) {
+  // Stage 1: every GPU copies its state to pinned host memory in parallel.
+  const TimeNs d2h = seconds(static_cast<double>(spec.bytes_per_gpu()) /
+                             spec.pcie_d2h_per_gpu);
+  if (two_stage) return d2h;
+  // Synchronous baseline: training also waits for the HDFS write.
+  return d2h + background_flush_time(spec);
+}
+
+TimeNs background_flush_time(const CheckpointSpec& spec) {
+  return seconds(static_cast<double>(spec.unique_bytes()) /
+                 spec.hdfs_write_aggregate);
+}
+
+TimeNs recovery_read_time(const CheckpointSpec& spec, bool group_leader_read) {
+  if (!group_leader_read) {
+    // Every GPU reads its full partition; parameter partitions are fetched
+    // dp times redundantly.
+    const double total_read =
+        static_cast<double>(spec.param_bytes_per_gpu) * spec.total_gpus +
+        static_cast<double>(spec.optimizer_bytes_per_gpu) * spec.total_gpus;
+    return seconds(total_read / spec.hdfs_read_aggregate);
+  }
+  // Designated reader per DP group; optimizer shards are unique per GPU and
+  // must still be read individually.
+  const double leader_read =
+      static_cast<double>(spec.param_bytes_per_gpu) * (spec.total_gpus / spec.dp) +
+      static_cast<double>(spec.optimizer_bytes_per_gpu) * spec.total_gpus;
+  const TimeNs read = seconds(leader_read / spec.hdfs_read_aggregate);
+  // Broadcast of the parameter partition within each DP group (pipelined
+  // ring: ~payload / bw).
+  const TimeNs bcast = seconds(static_cast<double>(spec.param_bytes_per_gpu) /
+                               spec.broadcast_bw);
+  return read + bcast;
+}
+
+TimeNs expected_lost_progress(TimeNs checkpoint_interval) {
+  assert(checkpoint_interval >= 0);
+  return checkpoint_interval / 2;
+}
+
+TimeNs optimal_checkpoint_interval(TimeNs stall, TimeNs cluster_mtbf) {
+  assert(stall > 0 && cluster_mtbf > 0);
+  const double interval_s =
+      std::sqrt(2.0 * to_seconds(stall) * to_seconds(cluster_mtbf));
+  return seconds(interval_s);
+}
+
+double checkpoint_overhead_fraction(TimeNs interval, TimeNs stall,
+                                    TimeNs cluster_mtbf) {
+  assert(interval > 0 && cluster_mtbf > 0);
+  const double stall_frac = to_seconds(stall) / to_seconds(interval);
+  const double redo_frac =
+      to_seconds(expected_lost_progress(interval)) / to_seconds(cluster_mtbf);
+  return stall_frac + redo_frac;
+}
+
+}  // namespace ms::ft

@@ -1,0 +1,69 @@
+// Fast checkpointing and recovery (MegaScale §4.4).
+//
+// Two-stage checkpointing: each GPU first dumps its on-chip state to host
+// memory over PCIe (seconds — the only part that blocks training), then a
+// background process flushes host memory to the distributed file system.
+// Recovery optimization: all GPU workers in a data-parallel group share the
+// same parameter partition, so a single designated reader fetches it from
+// HDFS and broadcasts to its peers, cutting the read load by the DP degree.
+#pragma once
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace ms::ft {
+
+struct CheckpointSpec {
+  /// bf16 parameters resident on one GPU (its pipeline/TP shard).
+  Bytes param_bytes_per_gpu = 5'500'000'000;
+  /// ZeRO-2 optimizer shard per GPU (fp32 master + Adam moments / dp).
+  Bytes optimizer_bytes_per_gpu = 250'000'000;
+  int total_gpus = 12288;
+  int dp = 192;  ///< data-parallel degree: replication factor of params
+  Bandwidth pcie_d2h_per_gpu = gBps(12.5);
+  Bandwidth hdfs_write_aggregate = gBps(50.0);
+  Bandwidth hdfs_read_aggregate = gBps(50.0);
+  /// Network bandwidth for the intra-group broadcast after a leader read.
+  Bandwidth broadcast_bw = gBps(22.5);
+
+  Bytes bytes_per_gpu() const {
+    return param_bytes_per_gpu + optimizer_bytes_per_gpu;
+  }
+  /// Unique checkpoint payload: parameters once per DP group + every
+  /// optimizer shard.
+  Bytes unique_bytes() const {
+    return param_bytes_per_gpu * (total_gpus / dp) +
+           optimizer_bytes_per_gpu * total_gpus;
+  }
+};
+
+/// Training stall per checkpoint. Two-stage: only the device-to-host copy
+/// blocks. Synchronous baseline: the HDFS write is on the critical path too.
+TimeNs checkpoint_stall(const CheckpointSpec& spec, bool two_stage);
+
+/// Background flush duration (second stage) — bounds the max checkpoint
+/// frequency.
+TimeNs background_flush_time(const CheckpointSpec& spec);
+
+/// Time to load the latest checkpoint on every GPU.
+/// Naive: every GPU reads its own partition from HDFS (parameters are read
+/// dp times redundantly). Optimized: one reader per DP group + broadcast.
+TimeNs recovery_read_time(const CheckpointSpec& spec, bool group_leader_read);
+
+/// Expected training progress lost per fault, given periodic checkpoints:
+/// uniformly distributed fault time => half the interval on average.
+TimeNs expected_lost_progress(TimeNs checkpoint_interval);
+
+/// Young/Daly optimal checkpoint interval: sqrt(2 * stall * MTBF)
+/// minimizes (stall overhead + expected redo) per unit time. With the
+/// two-stage writer's sub-second stalls and an hours-scale cluster MTBF,
+/// the optimum lands at minutes — the quantitative backing for the paper's
+/// "increase the frequency of checkpointing" decision.
+TimeNs optimal_checkpoint_interval(TimeNs stall, TimeNs cluster_mtbf);
+
+/// Expected fraction of wall-clock lost to checkpoint stalls plus redo work
+/// at a given interval and MTBF (the objective the optimum minimizes).
+double checkpoint_overhead_fraction(TimeNs interval, TimeNs stall,
+                                    TimeNs cluster_mtbf);
+
+}  // namespace ms::ft

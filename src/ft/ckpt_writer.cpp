@@ -1,0 +1,86 @@
+#include "ft/ckpt_writer.h"
+
+namespace ms::ft {
+
+TwoStageCheckpointWriter::TwoStageCheckpointWriter(
+    SnapshotSink sink, std::size_t max_staged,
+    std::chrono::microseconds sink_delay_per_mb)
+    : sink_(std::move(sink)),
+      max_staged_(max_staged),
+      sink_delay_per_mb_(sink_delay_per_mb),
+      flusher_([this] { flusher_loop(); }) {}
+
+TwoStageCheckpointWriter::~TwoStageCheckpointWriter() { close(); }
+
+bool TwoStageCheckpointWriter::snapshot(std::int64_t step,
+                                        const std::vector<float>& state) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || staged_.size() < max_staged_; });
+  if (closed_) return false;
+  Snapshot snap;
+  snap.step = step;
+  snap.state = state;  // the D2H copy (stage 1)
+  staged_.push_back(std::move(snap));
+  ++taken_;
+  cv_.notify_all();
+  return true;
+}
+
+void TwoStageCheckpointWriter::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::int64_t target = taken_;
+  cv_.wait(lock, [&] { return persisted_ >= target; });
+}
+
+void TwoStageCheckpointWriter::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ && !flusher_.joinable()) return;
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+std::int64_t TwoStageCheckpointWriter::snapshots_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return taken_;
+}
+
+std::int64_t TwoStageCheckpointWriter::snapshots_persisted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return persisted_;
+}
+
+void TwoStageCheckpointWriter::flusher_loop() {
+  for (;;) {
+    Snapshot snap;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !staged_.empty(); });
+      if (staged_.empty()) {
+        if (closed_) return;
+        continue;
+      }
+      // The staging slot stays OCCUPIED until the write completes — host
+      // memory is only reusable after the flush, which is what makes
+      // `max_staged` the real back-pressure bound.
+      snap = staged_.front();
+    }
+    // Stage 2: the slow persistent write, off the training thread.
+    if (sink_delay_per_mb_.count() > 0) {
+      const auto mb = static_cast<std::int64_t>(
+          snap.state.size() * sizeof(float) / (1024 * 1024) + 1);
+      std::this_thread::sleep_for(sink_delay_per_mb_ * mb);
+    }
+    sink_(snap);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      staged_.pop_front();
+      ++persisted_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace ms::ft

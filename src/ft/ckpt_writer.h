@@ -1,0 +1,72 @@
+// Two-stage checkpoint writer — the §4.4 mechanism with real threads.
+//
+// Stage 1 (blocking, fast): snapshot() copies the training state into a
+// host-memory staging buffer and returns immediately; training resumes.
+// Stage 2 (background): a flusher thread drains staged snapshots to the
+// (slow) persistent sink. Back-pressure: at most `max_staged` snapshots may
+// be in flight; snapshot() blocks if the flusher falls behind — exactly the
+// failure mode that bounds checkpoint frequency in production.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ms::ft {
+
+struct Snapshot {
+  std::int64_t step = 0;
+  std::vector<float> state;
+};
+
+/// The persistent sink ("HDFS"): receives completed snapshots in order.
+/// Must be thread-safe or externally synchronized; the writer calls it from
+/// the flusher thread only.
+using SnapshotSink = std::function<void(const Snapshot&)>;
+
+class TwoStageCheckpointWriter {
+ public:
+  /// `sink_delay_per_mb` emulates the slow distributed-FS write path.
+  TwoStageCheckpointWriter(SnapshotSink sink, std::size_t max_staged = 2,
+                           std::chrono::microseconds sink_delay_per_mb =
+                               std::chrono::microseconds(0));
+  ~TwoStageCheckpointWriter();
+
+  TwoStageCheckpointWriter(const TwoStageCheckpointWriter&) = delete;
+  TwoStageCheckpointWriter& operator=(const TwoStageCheckpointWriter&) = delete;
+
+  /// Stage 1: copies `state` into the staging area. Blocks only while the
+  /// staging area is full (flusher behind). Returns false after close().
+  bool snapshot(std::int64_t step, const std::vector<float>& state);
+
+  /// Blocks until everything staged so far has reached the sink.
+  void flush();
+
+  /// Flushes and stops the background thread.
+  void close();
+
+  std::int64_t snapshots_taken() const;
+  std::int64_t snapshots_persisted() const;
+
+ private:
+  void flusher_loop();
+
+  SnapshotSink sink_;
+  std::size_t max_staged_;
+  std::chrono::microseconds sink_delay_per_mb_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Snapshot> staged_;
+  bool closed_ = false;
+  std::int64_t taken_ = 0;
+  std::int64_t persisted_ = 0;
+  std::thread flusher_;
+};
+
+}  // namespace ms::ft

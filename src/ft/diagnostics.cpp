@@ -1,0 +1,65 @@
+#include "ft/diagnostics.h"
+
+#include <cmath>
+
+namespace ms::ft {
+
+namespace {
+const char* kTests[] = {"loopback", "rnic-to-rnic", "nccl-all-to-all",
+                        "nccl-all-reduce"};
+}
+
+double test_sensitivity(const std::string& test, FaultType type) {
+  // Sensitivities chosen so the suite's combined detection probability
+  // 1 - prod(1 - s_i) reproduces fault_signature().diagnostic_detection.
+  switch (type) {
+    case FaultType::kCudaError:
+    case FaultType::kSegFault:
+      // GPU-side software faults reproduce under NCCL tests.
+      if (test == "nccl-all-to-all") return 0.90;
+      if (test == "nccl-all-reduce") return 0.70;
+      return 0.0;
+    case FaultType::kEccError:
+      if (test == "nccl-all-to-all") return 0.80;
+      if (test == "loopback") return 0.75;
+      return 0.0;
+    case FaultType::kGpuHang:
+      if (test == "nccl-all-to-all") return 0.85;
+      return 0.0;
+    case FaultType::kNicFlap:
+      if (test == "rnic-to-rnic") return 0.60;
+      if (test == "nccl-all-reduce") return 0.40;
+      if (test == "loopback") return 0.17;
+      return 0.0;
+    case FaultType::kSlowGpu:
+      // Silent stragglers pass bandwidth checks almost always (§5.1: "no
+      // evident variations ... under single GPU GEMM micro-benchmarks").
+      if (test == "nccl-all-to-all") return 0.05;
+      return 0.0;
+  }
+  return 0.0;
+}
+
+SuiteResult run_diagnostic_suite(const NodeCondition& node,
+                                 const SuiteConfig& cfg, Rng& rng) {
+  SuiteResult result;
+  const TimeNs durations[] = {cfg.loopback_duration, cfg.rnic_duration,
+                              cfg.nccl_intra_duration,
+                              cfg.nccl_neighbor_duration};
+  for (int i = 0; i < 4; ++i) {
+    DiagnosticOutcome outcome;
+    outcome.test = kTests[i];
+    outcome.duration = durations[i];
+    double fail_p = cfg.false_positive_rate;
+    if (node.faulty) {
+      fail_p = std::max(fail_p, test_sensitivity(outcome.test, node.type));
+    }
+    outcome.passed = !rng.chance(fail_p);
+    result.node_flagged |= !outcome.passed;
+    result.total_duration += outcome.duration;
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace ms::ft

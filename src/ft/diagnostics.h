@@ -1,0 +1,65 @@
+// Self-check diagnostic suite (MegaScale §4.3). See also driver_sim.h for
+// the event-driven protocol that invokes it.
+//
+// Four lightweight tests, run on every node during fault recovery:
+//   * Loopback       — RNIC -> {memory, GPU} full-mesh bandwidth: catches
+//                      PCIe misconfiguration and degraded intra-host links;
+//   * RNIC-to-RNIC   — inter-NIC connectivity/bandwidth on the host:
+//                      catches NIC and routing configuration faults;
+//   * NCCL all-to-all (intra-node) — GPU communication: catches defective
+//                      GPUs, CUDA-level faults and hangs;
+//   * NCCL all-reduce (neighbor)   — with machines under the same ToR:
+//                      catches inter-node network faults.
+// The suite trades execution time against accuracy: each test has a
+// per-fault detection probability and a small false-positive rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "ft/faults.h"
+
+namespace ms::ft {
+
+struct NodeCondition {
+  bool faulty = false;
+  FaultType type = FaultType::kCudaError;
+};
+
+struct DiagnosticOutcome {
+  std::string test;
+  TimeNs duration = 0;
+  bool passed = true;
+};
+
+struct SuiteResult {
+  bool node_flagged = false;     // any test failed
+  TimeNs total_duration = 0;
+  std::vector<DiagnosticOutcome> outcomes;
+};
+
+struct SuiteConfig {
+  double false_positive_rate = 0.002;  // per test
+  TimeNs loopback_duration = seconds(30.0);
+  TimeNs rnic_duration = seconds(30.0);
+  TimeNs nccl_intra_duration = seconds(60.0);
+  TimeNs nccl_neighbor_duration = seconds(60.0);
+
+  TimeNs total_duration() const {
+    return loopback_duration + rnic_duration + nccl_intra_duration +
+           nccl_neighbor_duration;
+  }
+};
+
+/// Runs the four tests against a node. Detection probabilities are derived
+/// from each test's sensitivity to the fault class; the combined suite
+/// sensitivity matches fault_signature(type).diagnostic_detection.
+SuiteResult run_diagnostic_suite(const NodeCondition& node,
+                                 const SuiteConfig& cfg, Rng& rng);
+
+/// Per-test probability of failing given the fault. Exposed for tests.
+double test_sensitivity(const std::string& test, FaultType type);
+
+}  // namespace ms::ft

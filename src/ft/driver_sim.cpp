@@ -1,0 +1,202 @@
+#include "ft/driver_sim.h"
+
+#include <cassert>
+#include <memory>
+
+namespace ms::ft {
+
+namespace {
+
+struct NodeState {
+  bool faulty = false;
+  FaultType type = FaultType::kCudaError;
+  TimeNs fault_since = -1;
+};
+
+struct SimState {
+  const DriverSimConfig* cfg = nullptr;
+  sim::Engine* engine = nullptr;
+  Rng* rng = nullptr;
+
+  std::vector<NodeState> nodes;
+  int spares_available = 0;
+  DriverState state = DriverState::kTraining;
+  std::unique_ptr<AnomalyDetector> detector;
+
+  DriverSimReport report;
+  TimeNs training_entered_at = 0;
+  DriverIncident current;  // the incident being handled
+  int pending_faulty_node = -1;
+
+  void enter_training() {
+    state = DriverState::kTraining;
+    training_entered_at = engine->now();
+    // Fresh detector view after recovery (§4.1: executors re-register).
+    detector = std::make_unique<AnomalyDetector>(cfg->detector);
+    for (int n = 0; n < cfg->nodes; ++n) detector->track(n, engine->now());
+  }
+
+  void leave_training() {
+    if (state == DriverState::kTraining) {
+      report.training_time += engine->now() - training_entered_at;
+    }
+  }
+
+  void on_alarm(const Alarm& alarm);
+  void finish_diagnostics();
+  void finish_replacement();
+  void finish_restore();
+};
+
+void SimState::on_alarm(const Alarm& alarm) {
+  if (state != DriverState::kTraining) return;  // already handling one
+  leave_training();
+  state = DriverState::kSuspended;
+  current.alarm_at = engine->now();
+  current.alarm_kind = alarm.kind;
+  current.node = alarm.node;
+  const auto& node = nodes[static_cast<std::size_t>(alarm.node)];
+  if (node.faulty) {
+    pending_faulty_node = alarm.node;
+    current.type = node.type;
+    current.fault_at = node.fault_since;
+  }
+  // Begin the diagnostic suite immediately across the fleet.
+  state = DriverState::kDiagnosing;
+  engine->after(cfg->suite.total_duration(), [this] { finish_diagnostics(); });
+}
+
+void SimState::finish_diagnostics() {
+  assert(state == DriverState::kDiagnosing);
+  // Run the suite against the faulty node's real condition.
+  const int victim = pending_faulty_node;
+  bool flagged = false;
+  if (victim >= 0) {
+    const auto result = run_diagnostic_suite(
+        NodeCondition{true, nodes[static_cast<std::size_t>(victim)].type},
+        cfg->suite, *rng);
+    flagged = result.node_flagged;
+  }
+  current.diagnosed_automatically = flagged;
+  const TimeNs extra = flagged ? 0 : cfg->manual_analysis_time;
+  state = DriverState::kReplacing;
+  engine->after(extra + cfg->evict_replenish_time,
+                [this] { finish_replacement(); });
+}
+
+void SimState::finish_replacement() {
+  assert(state == DriverState::kReplacing);
+  if (spares_available <= 0) {
+    // Spare pool dry: wait for a repaired node (poll each minute).
+    if (!current.waited_for_spare) {
+      ++report.spare_pool_exhausted_events;
+      current.waited_for_spare = true;
+    }
+    engine->after(minutes(1.0), [this] { finish_replacement(); });
+    return;
+  }
+  --spares_available;
+  // The faulty node leaves for repair and returns later.
+  if (pending_faulty_node >= 0) {
+    nodes[static_cast<std::size_t>(pending_faulty_node)] = NodeState{};
+    engine->after(cfg->node_repair_time, [this] { ++spares_available; });
+    pending_faulty_node = -1;
+  }
+  state = DriverState::kRestoring;
+  engine->after(cfg->restore_time, [this] { finish_restore(); });
+}
+
+void SimState::finish_restore() {
+  assert(state == DriverState::kRestoring);
+  current.resumed_at = engine->now();
+  report.incidents.push_back(current);
+  current = DriverIncident{};
+  enter_training();
+}
+
+}  // namespace
+
+DriverSimReport run_driver_sim(const DriverSimConfig& cfg, TimeNs duration,
+                               const std::vector<FaultEvent>& faults,
+                               Rng& rng) {
+  sim::Engine engine;
+  SimState sim;
+  sim.cfg = &cfg;
+  sim.engine = &engine;
+  sim.rng = &rng;
+  sim.nodes.resize(static_cast<std::size_t>(cfg.nodes));
+  sim.spares_available = cfg.spares;
+  sim.enter_training();
+
+  // --- fault injection events ---
+  for (const auto& fault : faults) {
+    if (fault.at >= duration) continue;
+    engine.at(fault.at, [&sim, fault] {
+      auto& node = sim.nodes[static_cast<std::size_t>(fault.node)];
+      if (node.faulty) return;  // node already broken
+      node.faulty = true;
+      node.type = fault.type;
+      node.fault_since = sim.engine->now();
+    });
+  }
+
+  // --- executor heartbeats (one chain of events per node) ---
+  const TimeNs interval = cfg.detector.heartbeat_interval;
+  std::function<void(int, TimeNs)> schedule_beat = [&](int node, TimeNs at) {
+    if (at >= duration) return;
+    engine.at(at, [&, node, at] {
+      const auto& n = sim.nodes[static_cast<std::size_t>(node)];
+      const FaultSignature sig =
+          n.faulty ? fault_signature(n.type) : FaultSignature{};
+      if (!(n.faulty && sig.stops_heartbeat)) {
+        Heartbeat hb;
+        hb.node = node;
+        hb.at = at;
+        hb.error_status = n.faulty && sig.explicit_error;
+        hb.rdma_gbps = (n.faulty && sig.drops_rdma_traffic)
+                           ? 0.0
+                           : cfg.healthy_rdma_gbps;
+        if (n.faulty && sig.log_keyword && sig.log_keyword[0] != '\0') {
+          hb.log_lines.push_back(sig.log_keyword);
+        }
+        ++sim.report.heartbeats_processed;
+        if (sim.state == DriverState::kTraining) {
+          if (auto alarm = sim.detector->feed(hb);
+              alarm && !alarm->warning_only) {
+            sim.on_alarm(*alarm);
+          }
+        }
+      }
+      schedule_beat(node, at + interval);
+    });
+  };
+  for (int node = 0; node < cfg.nodes; ++node) {
+    schedule_beat(node, interval);
+  }
+
+  // --- driver timeout sweeps ---
+  std::function<void(TimeNs)> schedule_sweep = [&](TimeNs at) {
+    if (at >= duration) return;
+    engine.at(at, [&, at] {
+      if (sim.state == DriverState::kTraining) {
+        for (const auto& alarm : sim.detector->check_timeouts(at)) {
+          sim.on_alarm(alarm);
+          break;  // handle one incident at a time
+        }
+      }
+      schedule_sweep(at + interval);
+    });
+  };
+  schedule_sweep(interval);
+
+  engine.run_until(duration);
+  sim.leave_training();
+
+  sim.report.total_time = duration;
+  sim.report.effective_fraction =
+      static_cast<double>(sim.report.training_time) /
+      static_cast<double>(duration);
+  return sim.report;
+}
+
+}  // namespace ms::ft

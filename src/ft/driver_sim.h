@@ -1,0 +1,70 @@
+// Event-driven robust-training simulation (MegaScale §4.1, Figure 5).
+//
+// Where workflow.h accounts for incidents arithmetically, this module runs
+// the driver/executor protocol as an actual event program on the discrete-
+// event engine: every executor posts heartbeats on its own period, the
+// driver's AnomalyDetector consumes them and sweeps for timeouts, faults
+// flip hidden node state mid-flight, and the recovery state machine
+// (suspend -> diagnose -> evict -> replenish-from-spares -> restore ->
+// resume) advances through scheduled events. A FINITE spare pool is
+// modeled: evicted nodes go to repair and return hours later, and if the
+// pool runs dry the job waits — the operational risk the arithmetic model
+// hides.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "ft/diagnostics.h"
+#include "ft/faults.h"
+#include "ft/monitor.h"
+#include "sim/engine.h"
+
+namespace ms::ft {
+
+struct DriverSimConfig {
+  int nodes = 16;
+  int spares = 2;
+  DetectorConfig detector;
+  SuiteConfig suite;
+  TimeNs evict_replenish_time = minutes(3.0);
+  TimeNs restore_time = minutes(2.0);          // checkpoint read + re-init
+  TimeNs manual_analysis_time = minutes(30.0);
+  /// An evicted node is repaired and returns to the spare pool after this.
+  TimeNs node_repair_time = hours(6.0);
+  double healthy_rdma_gbps = 150.0;
+};
+
+enum class DriverState {
+  kTraining,
+  kSuspended,   // alarm received, waiting to start diagnostics
+  kDiagnosing,
+  kReplacing,   // evicting + waiting for a spare
+  kRestoring,
+};
+
+struct DriverIncident {
+  TimeNs fault_at = 0;
+  FaultType type = FaultType::kCudaError;
+  int node = 0;
+  TimeNs alarm_at = -1;
+  AlarmKind alarm_kind = AlarmKind::kErrorStatus;
+  bool diagnosed_automatically = false;
+  TimeNs resumed_at = -1;
+  bool waited_for_spare = false;
+};
+
+struct DriverSimReport {
+  std::vector<DriverIncident> incidents;
+  TimeNs total_time = 0;
+  TimeNs training_time = 0;  // time spent in kTraining
+  double effective_fraction = 0;
+  int spare_pool_exhausted_events = 0;
+  std::uint64_t heartbeats_processed = 0;
+};
+
+/// Runs the protocol for `duration` with the given fault schedule.
+DriverSimReport run_driver_sim(const DriverSimConfig& cfg, TimeNs duration,
+                               const std::vector<FaultEvent>& faults, Rng& rng);
+
+}  // namespace ms::ft

@@ -1,0 +1,77 @@
+#include "ft/faults.h"
+
+#include <cassert>
+
+namespace ms::ft {
+
+const char* fault_name(FaultType type) {
+  switch (type) {
+    case FaultType::kCudaError: return "cuda-error";
+    case FaultType::kSegFault: return "segfault";
+    case FaultType::kEccError: return "ecc-error";
+    case FaultType::kGpuHang: return "gpu-hang";
+    case FaultType::kNicFlap: return "nic-flap";
+    case FaultType::kSlowGpu: return "slow-gpu";
+  }
+  return "?";
+}
+
+FaultSignature fault_signature(FaultType type) {
+  switch (type) {
+    case FaultType::kCudaError:
+      return {true, false, false, 0.97, "CUDA error"};
+    case FaultType::kSegFault:
+      return {true, false, false, 0.97, "segmentation fault"};
+    case FaultType::kEccError:
+      return {true, false, false, 0.95, "ECC error"};
+    case FaultType::kGpuHang:
+      return {false, true, true, 0.85, ""};
+    case FaultType::kNicFlap:
+      return {false, false, true, 0.80, "link down"};
+    case FaultType::kSlowGpu:
+      // Passes every self-check; needs the CUDA-event monitor (§5.1).
+      return {false, false, false, 0.05, ""};
+  }
+  return {};
+}
+
+std::vector<FaultMixEntry> default_fault_mix() {
+  return {
+      {FaultType::kCudaError, 0.36}, {FaultType::kSegFault, 0.22},
+      {FaultType::kEccError, 0.18},  {FaultType::kGpuHang, 0.10},
+      {FaultType::kNicFlap, 0.09},   {FaultType::kSlowGpu, 0.05},
+  };
+}
+
+std::vector<FaultEvent> draw_fault_schedule(TimeNs duration,
+                                            TimeNs cluster_mtbf, int nodes,
+                                            const std::vector<FaultMixEntry>& mix,
+                                            Rng& rng) {
+  assert(cluster_mtbf > 0 && nodes > 0 && !mix.empty());
+  double total_weight = 0;
+  for (const auto& m : mix) total_weight += m.weight;
+
+  std::vector<FaultEvent> events;
+  double t = 0;
+  const double mtbf_s = to_seconds(cluster_mtbf);
+  for (;;) {
+    t += rng.exponential(mtbf_s);
+    if (seconds(t) >= duration) break;
+    FaultEvent ev;
+    ev.at = seconds(t);
+    ev.node = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(nodes)));
+    double u = rng.uniform() * total_weight;
+    ev.type = mix.back().type;
+    for (const auto& m : mix) {
+      if (u < m.weight) {
+        ev.type = m.type;
+        break;
+      }
+      u -= m.weight;
+    }
+    events.push_back(ev);
+  }
+  return events;
+}
+
+}  // namespace ms::ft

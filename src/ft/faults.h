@@ -1,0 +1,63 @@
+// Fault taxonomy and injection (MegaScale §4, §6.3).
+//
+// The fault mix mirrors the paper's production record: most incidents are
+// explicit software/hardware errors (CUDA errors, segmentation faults, ECC
+// errors) that the robust training framework detects and recovers
+// automatically (>90%); the remainder are the nuanced cases — hung hosts,
+// NIC flapping, silently slow GPUs — that need the heartbeat timeout, the
+// RDMA traffic monitor, or the §5 observability tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+
+namespace ms::ft {
+
+enum class FaultType {
+  kCudaError,      // explicit error in training process
+  kSegFault,       // explicit crash
+  kEccError,       // GPU memory error, surfaces in logs
+  kGpuHang,        // machine stops heartbeating
+  kNicFlap,        // traffic collapses, process alive
+  kSlowGpu,        // silent straggler: no error at all
+};
+
+const char* fault_name(FaultType type);
+
+/// How the fault manifests to the monitoring plane.
+struct FaultSignature {
+  bool explicit_error;     ///< heartbeat carries an error status
+  bool stops_heartbeat;    ///< detection only via timeout
+  bool drops_rdma_traffic; ///< RDMA monitor fires
+  /// Probability the §4.3 diagnostic suite pins the faulty node.
+  double diagnostic_detection;
+  /// Error-log keyword (for the log-filter detector), empty if silent.
+  const char* log_keyword;
+};
+FaultSignature fault_signature(FaultType type);
+
+struct FaultEvent {
+  TimeNs at = 0;
+  int node = 0;
+  FaultType type = FaultType::kCudaError;
+};
+
+struct FaultMixEntry {
+  FaultType type;
+  double weight;
+};
+
+/// Production-like mix: mostly explicit errors.
+std::vector<FaultMixEntry> default_fault_mix();
+
+/// Draws fault events over [0, duration): exponential inter-arrival with
+/// the given cluster-wide MTBF, uniform victim node, mix-weighted type.
+std::vector<FaultEvent> draw_fault_schedule(TimeNs duration,
+                                            TimeNs cluster_mtbf, int nodes,
+                                            const std::vector<FaultMixEntry>& mix,
+                                            Rng& rng);
+
+}  // namespace ms::ft

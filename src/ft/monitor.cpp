@@ -1,0 +1,64 @@
+#include "ft/monitor.h"
+
+namespace ms::ft {
+
+void AnomalyDetector::track(int node, TimeNs now) {
+  nodes_[node].last_beat = now;
+}
+
+std::optional<Alarm> AnomalyDetector::feed(const Heartbeat& hb) {
+  NodeState& state = nodes_[hb.node];
+  state.last_beat = hb.at;
+  if (state.alarmed) return std::nullopt;
+
+  if (hb.error_status) {
+    state.alarmed = true;
+    return Alarm{AlarmKind::kErrorStatus, hb.node, hb.at,
+                 "training process reported error", false};
+  }
+  for (const auto& line : hb.log_lines) {
+    for (const auto& keyword : cfg_.error_keywords) {
+      if (line.find(keyword) != std::string::npos) {
+        state.alarmed = true;
+        return Alarm{AlarmKind::kLogKeyword, hb.node, hb.at,
+                     "log keyword: " + keyword, false};
+      }
+    }
+  }
+
+  if (state.rdma_baseline < 0) {
+    state.rdma_baseline = hb.rdma_gbps;
+    return std::nullopt;
+  }
+  const double baseline = state.rdma_baseline;
+  if (baseline > 0) {
+    if (hb.rdma_gbps < cfg_.rdma_silence_fraction * baseline) {
+      state.alarmed = true;
+      return Alarm{AlarmKind::kRdmaSilence, hb.node, hb.at,
+                   "RDMA traffic ceased", false};
+    }
+    if (hb.rdma_gbps < cfg_.rdma_warning_fraction * baseline) {
+      // Significant decline: warn, keep training (§4.2 manual path).
+      return Alarm{AlarmKind::kRdmaSilence, hb.node, hb.at,
+                   "RDMA traffic decline", true};
+    }
+  }
+  // EWMA update only with healthy-looking samples.
+  state.rdma_baseline = 0.8 * state.rdma_baseline + 0.2 * hb.rdma_gbps;
+  return std::nullopt;
+}
+
+std::vector<Alarm> AnomalyDetector::check_timeouts(TimeNs now) {
+  std::vector<Alarm> alarms;
+  for (auto& [node, state] : nodes_) {
+    if (state.alarmed) continue;
+    if (now - state.last_beat > cfg_.heartbeat_timeout) {
+      state.alarmed = true;
+      alarms.push_back(Alarm{AlarmKind::kHeartbeatTimeout, node, now,
+                             "missing heartbeat", false});
+    }
+  }
+  return alarms;
+}
+
+}  // namespace ms::ft

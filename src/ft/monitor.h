@@ -1,0 +1,82 @@
+// Heartbeat stream analysis (MegaScale §4.1-4.2).
+//
+// Executors send a heartbeat every ~10 s carrying the training-process
+// status, recent stdout/stderr lines and RDMA traffic counters. The driver
+// raises an alarm when it sees (in priority order):
+//   * an explicit error status,
+//   * an error keyword in the aggregated logs,
+//   * a total collapse of RDMA traffic (the training is silently stuck),
+//   * a missing heartbeat (timeout) — the node is hung.
+// Significant-but-nonzero traffic fluctuation only produces a warning for
+// manual investigation, exactly as §4.2 describes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/time.h"
+
+namespace ms::ft {
+
+struct Heartbeat {
+  int node = 0;
+  TimeNs at = 0;
+  bool error_status = false;
+  double rdma_gbps = 0;  // NIC counters since last beat
+  std::vector<std::string> log_lines;
+};
+
+enum class AlarmKind {
+  kErrorStatus,
+  kLogKeyword,
+  kRdmaSilence,
+  kHeartbeatTimeout,
+};
+
+struct Alarm {
+  AlarmKind kind = AlarmKind::kErrorStatus;
+  int node = 0;
+  TimeNs at = 0;
+  std::string detail;
+  /// Warnings request manual investigation; alarms trigger recovery.
+  bool warning_only = false;
+};
+
+struct DetectorConfig {
+  TimeNs heartbeat_interval = seconds(10.0);
+  TimeNs heartbeat_timeout = seconds(35.0);
+  /// Traffic below this fraction of the node's moving baseline is
+  /// "ceased entirely" -> automatic recovery.
+  double rdma_silence_fraction = 0.05;
+  /// Traffic below this fraction is abnormal -> warning.
+  double rdma_warning_fraction = 0.6;
+  std::vector<std::string> error_keywords = {
+      "CUDA error", "segmentation fault", "ECC error", "NCCL timeout"};
+};
+
+class AnomalyDetector {
+ public:
+  explicit AnomalyDetector(DetectorConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Registers a node so missing heartbeats can be detected from t=0.
+  void track(int node, TimeNs now);
+
+  /// Ingests one heartbeat; returns an alarm/warning if it trips a rule.
+  std::optional<Alarm> feed(const Heartbeat& hb);
+
+  /// Periodic sweep: nodes whose last heartbeat is older than the timeout.
+  std::vector<Alarm> check_timeouts(TimeNs now);
+
+ private:
+  struct NodeState {
+    TimeNs last_beat = 0;
+    double rdma_baseline = -1;  // EWMA of healthy traffic
+    bool alarmed = false;
+  };
+  DetectorConfig cfg_;
+  std::unordered_map<int, NodeState> nodes_;
+};
+
+}  // namespace ms::ft

@@ -1,0 +1,172 @@
+#include "ft/workflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ms::ft {
+
+DetectionResult detect_fault(const WorkflowConfig& cfg, FaultType type,
+                             Rng& rng) {
+  const FaultSignature sig = fault_signature(type);
+  const TimeNs interval = cfg.detector.heartbeat_interval;
+  AnomalyDetector detector(cfg.detector);
+
+  constexpr int kNode = 0;
+  detector.track(kNode, 0);
+  // Two healthy beats to establish the RDMA baseline.
+  TimeNs t = 0;
+  for (int i = 0; i < 2; ++i) {
+    t += interval;
+    Heartbeat hb;
+    hb.node = kNode;
+    hb.at = t;
+    hb.rdma_gbps = cfg.healthy_rdma_gbps;
+    auto alarm = detector.feed(hb);
+    assert(!alarm);
+    (void)alarm;
+  }
+
+  // Fault strikes at a uniform phase inside the heartbeat period.
+  const TimeNs fault_at =
+      t + static_cast<TimeNs>(rng.uniform() * static_cast<double>(interval));
+
+  if (!sig.explicit_error && !sig.stops_heartbeat && !sig.drops_rdma_traffic) {
+    // Fully silent: only the §5.1 performance analysis finds it.
+    return {cfg.silent_fault_detect_time, false, "perf-monitor"};
+  }
+
+  // Play heartbeats until an alarm fires.
+  for (int beat = 1; beat <= 1000; ++beat) {
+    const TimeNs beat_at = t + beat * interval;
+    if (sig.stops_heartbeat) {
+      auto alarms = detector.check_timeouts(beat_at);
+      if (!alarms.empty()) {
+        return {beat_at - fault_at, true, "heartbeat-timeout"};
+      }
+      continue;
+    }
+    Heartbeat hb;
+    hb.node = kNode;
+    hb.at = beat_at;
+    hb.error_status = sig.explicit_error;
+    hb.rdma_gbps =
+        sig.drops_rdma_traffic ? 0.0 : cfg.healthy_rdma_gbps;
+    if (sig.log_keyword[0] != '\0') hb.log_lines.push_back(sig.log_keyword);
+    auto alarm = detector.feed(hb);
+    if (alarm && !alarm->warning_only) {
+      const char* path = "error-status";
+      switch (alarm->kind) {
+        case AlarmKind::kErrorStatus: path = "error-status"; break;
+        case AlarmKind::kLogKeyword: path = "log-keyword"; break;
+        case AlarmKind::kRdmaSilence: path = "rdma-monitor"; break;
+        case AlarmKind::kHeartbeatTimeout: path = "heartbeat-timeout"; break;
+      }
+      return {beat_at - fault_at, true, path};
+    }
+  }
+  return {cfg.silent_fault_detect_time, false, "perf-monitor"};
+}
+
+RunReport run_robust_training(const WorkflowConfig& cfg, TimeNs duration,
+                              const std::vector<FaultEvent>& faults,
+                              Rng& rng) {
+  RunReport report;
+  report.duration = duration;
+
+  const TimeNs ckpt_stall =
+      checkpoint_stall(cfg.checkpoint, cfg.two_stage_checkpoint);
+  const TimeNs recovery_read =
+      recovery_read_time(cfg.checkpoint, cfg.group_leader_recovery);
+
+  TimeNs now = 0;
+  TimeNs progress_since_ckpt = 0;
+
+  auto advance_healthy = [&](TimeNs until) {
+    // Healthy training from `now` to `until`, checkpointing on schedule.
+    TimeNs up = until - now;
+    if (up <= 0) return;
+    TimeNs to_next_ckpt = cfg.checkpoint_interval - progress_since_ckpt;
+    while (up >= to_next_ckpt) {
+      up -= to_next_ckpt;
+      ++report.checkpoints_taken;
+      report.checkpoint_stall_total += ckpt_stall;
+      progress_since_ckpt = 0;
+      to_next_ckpt = cfg.checkpoint_interval;
+    }
+    progress_since_ckpt += up;
+    now = until;
+  };
+
+  for (const auto& fault : faults) {
+    if (fault.at >= duration) break;
+    // Faults landing during a recovery window strike right after resume.
+    const TimeNs strike = std::max(fault.at, now);
+    if (strike >= duration) break;
+    advance_healthy(strike);
+
+    Incident incident;
+    incident.fault = fault;
+
+    const DetectionResult detection = detect_fault(cfg, fault.type, rng);
+    incident.detect_latency = detection.latency;
+    incident.auto_detected = detection.automatic;
+    incident.detection_path = detection.path;
+
+    // Diagnostics across the fleet (parallel on all nodes, one suite long).
+    const SuiteResult victim_suite = run_diagnostic_suite(
+        NodeCondition{true, fault.type}, cfg.suite, rng);
+    incident.auto_diagnosed = victim_suite.node_flagged;
+    TimeNs diagnose_time = victim_suite.total_duration;
+    if (!incident.auto_diagnosed) diagnose_time += cfg.manual_analysis_time;
+
+    // Healthy nodes occasionally fail a test and get evicted too.
+    const double fp_suite =
+        1.0 - std::pow(1.0 - cfg.suite.false_positive_rate, 4.0);
+    for (int n = 0; n < cfg.nodes - 1; ++n) {
+      if (rng.chance(fp_suite)) ++incident.false_positive_evictions;
+    }
+
+    incident.lost_progress = progress_since_ckpt;
+    incident.downtime = incident.detect_latency + diagnose_time +
+                        cfg.evict_replenish_time + recovery_read +
+                        cfg.reinit_time;
+
+    now = strike + incident.downtime;
+    progress_since_ckpt = 0;  // resumed from the last checkpoint
+
+    report.downtime_total += incident.downtime;
+    report.lost_progress_total += incident.lost_progress;
+    ++report.restarts;
+    report.incidents.push_back(incident);
+    if (now >= duration) break;
+  }
+  if (now < duration) advance_healthy(duration);
+
+  if (!report.incidents.empty()) {
+    double auto_det = 0, auto_diag = 0;
+    TimeNs det_sum = 0, down_sum = 0;
+    for (const auto& i : report.incidents) {
+      auto_det += i.auto_detected ? 1 : 0;
+      auto_diag += i.auto_diagnosed ? 1 : 0;
+      det_sum += i.detect_latency;
+      down_sum += i.downtime;
+    }
+    const double n = static_cast<double>(report.incidents.size());
+    report.auto_detected_fraction = auto_det / n;
+    report.auto_diagnosed_fraction = auto_diag / n;
+    report.mean_detect_latency = static_cast<TimeNs>(
+        static_cast<double>(det_sum) / n);
+    report.mean_downtime =
+        static_cast<TimeNs>(static_cast<double>(down_sum) / n);
+  }
+
+  const double wasted =
+      static_cast<double>(report.downtime_total + report.lost_progress_total +
+                          report.checkpoint_stall_total);
+  report.effective_time_ratio =
+      1.0 - wasted / static_cast<double>(duration);
+  return report;
+}
+
+}  // namespace ms::ft

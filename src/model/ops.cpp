@@ -1,0 +1,120 @@
+#include "model/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ms::model {
+
+OperatorProfile OperatorProfile::megatron_baseline() {
+  OperatorProfile p;
+  p.flash_attention2 = false;
+  p.fused_layernorm = false;
+  p.fused_gelu = false;
+  return p;
+}
+
+OperatorProfile OperatorProfile::megascale() {
+  OperatorProfile p;
+  p.flash_attention2 = true;
+  p.fused_layernorm = true;
+  p.fused_gelu = true;
+  return p;
+}
+
+OpCostModel::OpCostModel(const ModelConfig& cfg, const OperatorProfile& profile,
+                         const collective::GpuSpec& gpu)
+    : cfg_(cfg), profile_(profile), gpu_(gpu) {}
+
+TimeNs OpCostModel::gemm_time(Flops flops) const {
+  return seconds(flops / (gpu_.peak_flops * profile_.gemm_efficiency));
+}
+
+TimeNs OpCostModel::memory_time(double bytes, int passes, int launches) const {
+  return seconds(bytes * passes / gpu_.hbm_bw) +
+         launches * profile_.kernel_launch;
+}
+
+TimeNs OpCostModel::fwd_dense(std::int64_t tokens, int tp) const {
+  assert(tp >= 1);
+  const double h = cfg_.hidden;
+  const double f = cfg_.ffn_hidden;
+  const Flops flops =
+      2.0 * (4.0 * h * h + 2.0 * h * f) * static_cast<double>(tokens) / tp;
+  // Four GEMM launches per layer (QKV, proj, MLP up, MLP down).
+  return gemm_time(flops) + 4 * profile_.kernel_launch;
+}
+
+TimeNs OpCostModel::fwd_attention(std::int64_t tokens, int tp) const {
+  assert(tp >= 1);
+  const double h = cfg_.hidden;
+  const Flops flops =
+      2.0 * 2.0 * h * cfg_.attention_span() * static_cast<double>(tokens) / tp;
+  const double eff = profile_.effective_attention_efficiency();
+  // Naive attention additionally materializes the [s, s] score matrix in
+  // HBM (two extra passes over s*span floats per head group); FlashAttention
+  // keeps it in SRAM.
+  TimeNs extra = 0;
+  int launches = profile_.flash_attention2 ? 1 : 4;
+  if (!profile_.flash_attention2) {
+    const double score_bytes = static_cast<double>(tokens) *
+                               cfg_.attention_span() *
+                               (static_cast<double>(cfg_.heads) / tp) * 2.0;
+    extra = memory_time(score_bytes, 2, 0);
+  }
+  return seconds(flops / (gpu_.peak_flops * eff)) + extra +
+         launches * profile_.kernel_launch;
+}
+
+TimeNs OpCostModel::fwd_elementwise(std::int64_t tokens) const {
+  const double act_bytes =
+      static_cast<double>(tokens) * static_cast<double>(cfg_.hidden) * 2.0;
+  const double ffn_bytes =
+      static_cast<double>(tokens) * static_cast<double>(cfg_.ffn_hidden) * 2.0;
+
+  const int layernorms = cfg_.parallel_block ? 1 : 2;
+  const int ln_passes = profile_.fused_layernorm ? 2 : 6;   // read+write vs 3 kernels
+  const int ln_launches = profile_.fused_layernorm ? 1 : 3;
+
+  const int gelu_passes = profile_.fused_gelu ? 0 : 2;  // fused into epilogue
+  const int gelu_launches = profile_.fused_gelu ? 0 : 1;
+
+  // Residual adds: serial block has 2 (after attn, after MLP); parallel
+  // block sums both branches in one pass.
+  const int residual_passes = cfg_.parallel_block ? 3 : 4;
+  const int residual_launches = cfg_.parallel_block ? 1 : 2;
+
+  TimeNs total = 0;
+  total += layernorms * memory_time(act_bytes, ln_passes, ln_launches);
+  total += memory_time(ffn_bytes, gelu_passes, gelu_launches);
+  total += memory_time(act_bytes, residual_passes, residual_launches);
+  return total;
+}
+
+TimeNs OpCostModel::fwd_layer(std::int64_t gemm_tokens,
+                              std::int64_t elementwise_tokens, int tp) const {
+  return fwd_dense(gemm_tokens, tp) + fwd_attention(gemm_tokens, tp) +
+         fwd_elementwise(elementwise_tokens);
+}
+
+TimeNs OpCostModel::bwd_layer(std::int64_t gemm_tokens,
+                              std::int64_t elementwise_tokens, int tp) const {
+  // Backward GEMMs: dgrad + wgrad = 2x forward; attention backward ~2x;
+  // elementwise backward is another pass of the same kernels.
+  return 2 * (fwd_dense(gemm_tokens, tp) + fwd_attention(gemm_tokens, tp)) +
+         fwd_elementwise(elementwise_tokens);
+}
+
+TimeNs OpCostModel::fwd_logits(std::int64_t tokens, int tp) const {
+  const Flops flops = 2.0 * static_cast<double>(cfg_.hidden) * cfg_.vocab *
+                      static_cast<double>(tokens) / tp;
+  return gemm_time(flops) + profile_.kernel_launch;
+}
+
+TimeNs OpCostModel::optimizer_step(double local_params) const {
+  // Mixed-precision Adam/LAMB: touch fp32 master weights, two moments and
+  // the bf16 gradient/param copies — ~20 bytes per parameter, read+write.
+  const double bytes = local_params * 20.0;
+  return memory_time(bytes, 2, 4);
+}
+
+}  // namespace ms::model

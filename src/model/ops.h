@@ -1,0 +1,92 @@
+// Operator catalog and kernel-time model (MegaScale §3.3 "Efficient
+// Operators").
+//
+// Three classes of kernels matter for iteration time:
+//  * large GEMMs — compute-bound, run at a fraction of tensor-core peak;
+//  * attention — compute-bound but with much worse arithmetic intensity in
+//    the naive implementation; FlashAttention-2 improves work partitioning
+//    across thread blocks and warps;
+//  * LayerNorm / GeLU / residual — memory-bound elementwise chains that in
+//    stock implementations are split into many fine-grained kernels; fusing
+//    them removes both extra HBM passes and kernel-launch overhead.
+#pragma once
+
+#include "collective/comm.h"
+#include "core/time.h"
+#include "core/units.h"
+#include "model/transformer.h"
+
+namespace ms::model {
+
+struct OperatorProfile {
+  /// Fraction of tensor-core peak attained by the large transformer GEMMs.
+  double gemm_efficiency = 0.70;
+  /// Attention kernel efficiency: naive implementations lose most of the
+  /// peak to poor work partitioning.
+  double attention_efficiency = 0.30;
+  bool flash_attention2 = false;  ///< raises attention efficiency
+  double flash_attention2_efficiency = 0.55;
+  /// Unfused LayerNorm runs as several elementwise kernels (extra HBM
+  /// round-trips); same for GeLU outside the GEMM epilogue.
+  bool fused_layernorm = false;
+  bool fused_gelu = false;
+  /// Per-kernel launch overhead on the GPU front-end.
+  TimeNs kernel_launch = microseconds(3.0);
+
+  double effective_attention_efficiency() const {
+    return flash_attention2 ? flash_attention2_efficiency
+                            : attention_efficiency;
+  }
+
+  /// Megatron-LM at the paper's baseline commit: efficient GEMMs, naive
+  /// attention/LayerNorm/GeLU kernels.
+  static OperatorProfile megatron_baseline();
+  /// MegaScale: FlashAttention-2 + fused LayerNorm/GeLU.
+  static OperatorProfile megascale();
+};
+
+/// Kernel-duration model for one GPU.
+class OpCostModel {
+ public:
+  OpCostModel(const ModelConfig& cfg, const OperatorProfile& profile,
+              const collective::GpuSpec& gpu);
+
+  const ModelConfig& config() const { return cfg_; }
+  const OperatorProfile& profile() const { return profile_; }
+
+  /// Forward time of the dense GEMMs of one layer over `tokens` tokens,
+  /// with weights split `tp` ways.
+  TimeNs fwd_dense(std::int64_t tokens, int tp) const;
+
+  /// Forward attention time (heads split `tp` ways). Uses the model's
+  /// actual attention span (SWA shortens it).
+  TimeNs fwd_attention(std::int64_t tokens, int tp) const;
+
+  /// Forward elementwise time of one layer: LayerNorms (1 with the parallel
+  /// block, 2 serial), GeLU, residual adds; `tokens` are the tokens this
+  /// GPU owns for these ops (sequence parallelism divides them).
+  TimeNs fwd_elementwise(std::int64_t tokens) const;
+
+  /// Full forward / backward time of one layer (backward GEMMs are 2x
+  /// forward; elementwise backward ~= forward).
+  TimeNs fwd_layer(std::int64_t gemm_tokens, std::int64_t elementwise_tokens,
+                   int tp) const;
+  TimeNs bwd_layer(std::int64_t gemm_tokens, std::int64_t elementwise_tokens,
+                   int tp) const;
+
+  /// Final vocabulary projection (vocab split `tp` ways).
+  TimeNs fwd_logits(std::int64_t tokens, int tp) const;
+
+  /// Optimizer step (memory-bound pass over the local parameter shard).
+  TimeNs optimizer_step(double local_params) const;
+
+ private:
+  TimeNs gemm_time(Flops flops) const;
+  TimeNs memory_time(double bytes, int passes, int launches) const;
+
+  ModelConfig cfg_;
+  OperatorProfile profile_;
+  collective::GpuSpec gpu_;
+};
+
+}  // namespace ms::model

@@ -1,0 +1,207 @@
+#include "net/ccsim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace ms::net {
+
+namespace {
+constexpr double kMinRateFraction = 0.001;  // floor: 0.1% of line rate
+}
+
+// ----------------------------------------------------------------- DCQCN
+
+double Dcqcn::on_feedback(double current_rate, const CcFeedback& fb) {
+  constexpr double kG = 1.0 / 16.0;
+  constexpr double kIncreasePeriodS = 55e-6;
+  alpha_ = (1.0 - kG) * alpha_ + kG * (fb.ecn ? 1.0 : 0.0);
+  double rate = current_rate;
+  if (fb.ecn) {
+    target_rate_ = current_rate;
+    rate = current_rate * (1.0 - alpha_ / 2.0);
+    recovery_stage_ = 0;
+    since_decrease_s_ = 0;
+  } else {
+    since_decrease_s_ += fb.dt;
+    if (target_rate_ <= 0) target_rate_ = fb.line_rate;
+    if (since_decrease_s_ >= kIncreasePeriodS) {
+      since_decrease_s_ = 0;
+      if (recovery_stage_ < 5) {
+        // Fast recovery: climb back toward the pre-decrease rate.
+        ++recovery_stage_;
+      } else {
+        // Additive increase phase: raise the target itself.
+        target_rate_ += 0.02 * fb.line_rate;
+      }
+      rate = (current_rate + target_rate_) / 2.0;
+    }
+  }
+  return std::clamp(rate, kMinRateFraction * fb.line_rate, fb.line_rate);
+}
+
+// ----------------------------------------------------------------- Swift
+
+double Swift::on_feedback(double current_rate, const CcFeedback& fb) {
+  // Feedback arrives once per RTT, so one decrease per feedback already
+  // matches Swift's "at most one multiplicative decrease per RTT".
+  constexpr double kBeta = 0.8;
+  constexpr double kMaxMdf = 0.5;
+  double rate = current_rate;
+  since_decrease_s_ += fb.dt;
+  if (fb.rtt_s > target_delay_s_) {
+    const double overshoot = (fb.rtt_s - target_delay_s_) / fb.rtt_s;
+    rate = current_rate * std::max(1.0 - kBeta * overshoot, 1.0 - kMaxMdf);
+    since_decrease_s_ = 0;
+  } else {
+    // Additive increase per RTT.
+    rate = current_rate + 0.004 * fb.line_rate;
+  }
+  return std::clamp(rate, kMinRateFraction * fb.line_rate, fb.line_rate);
+}
+
+// ------------------------------------------------------------ MegaScaleCC
+
+double MegaScaleCc::on_feedback(double current_rate, const CcFeedback& fb) {
+  constexpr double kG = 1.0 / 8.0;
+  ecn_ewma_ = (1.0 - kG) * ecn_ewma_ + kG * (fb.ecn ? 1.0 : 0.0);
+  double rate = current_rate;
+  if (fb.ecn) {
+    // Fast ECN brake (DCQCN-style) — the emergency response that fires
+    // within one feedback interval of the queue crossing the mark point.
+    rate = current_rate * (1.0 - 0.3 * std::max(ecn_ewma_, 0.25));
+  } else if (fb.rtt_s > target_delay_s_) {
+    // Precise RTT-proportional trim (Swift-style), once per RTT.
+    const double overshoot = (fb.rtt_s - target_delay_s_) / fb.rtt_s;
+    rate = current_rate * (1.0 - 0.8 * overshoot);
+  } else {
+    // Headroom-proportional additive increase per RTT.
+    const double headroom = (target_delay_s_ - fb.rtt_s) / target_delay_s_;
+    rate = current_rate + (0.002 + 0.008 * headroom) * fb.line_rate;
+  }
+  return std::clamp(rate, kMinRateFraction * fb.line_rate, fb.line_rate);
+}
+
+// ------------------------------------------------------------- simulator
+
+CcSimResult run_cc_sim(
+    const CcSimParams& params,
+    const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm) {
+  assert(params.senders > 0);
+  const int n = params.senders;
+  const double dt = params.step_s;
+  const int steps = static_cast<int>(params.duration_s / dt);
+  const int rtt_steps_base =
+      std::max(1, static_cast<int>(params.base_rtt_s / dt));
+
+  std::vector<std::unique_ptr<CcAlgorithm>> algos;
+  std::vector<double> rate(static_cast<std::size_t>(n));
+  std::vector<double> sent(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    algos.push_back(make_algorithm());
+    rate[static_cast<std::size_t>(i)] =
+        algos.back()->initial_rate(params.line_rate);
+  }
+
+  Rng rng(0xCC51u + static_cast<std::uint64_t>(n));
+  double queue = 0;
+  bool paused = false;
+  int pause_events = 0;
+  double pause_time = 0;
+  double served_total = 0;
+  RunningStat queue_stat;
+  Percentiles queue_pct;
+
+  // History of queue depth for delayed feedback.
+  std::vector<double> queue_hist(static_cast<std::size_t>(steps) + 1, 0.0);
+
+  for (int step = 0; step < steps; ++step) {
+    // --- data plane ---
+    double arrivals = 0;
+    if (!paused) {
+      for (int i = 0; i < n; ++i) {
+        const double bytes = rate[static_cast<std::size_t>(i)] * dt;
+        arrivals += bytes;
+        sent[static_cast<std::size_t>(i)] += bytes;
+      }
+    } else {
+      pause_time += dt;
+    }
+    const double service = params.bottleneck_rate * dt;
+    const double available = queue + arrivals;
+    const double served = std::min(available, service);
+    served_total += served;
+    queue = available - served;
+
+    queue_stat.add(queue);
+    queue_pct.add(queue);
+    queue_hist[static_cast<std::size_t>(step) + 1] = queue;
+
+    // --- PFC state machine ---
+    if (!paused && queue > params.pfc_pause) {
+      paused = true;
+      ++pause_events;
+    } else if (paused && queue < params.pfc_resume) {
+      paused = false;
+    }
+
+    // --- control plane: per-RTT feedback, staggered across senders ---
+    // Each sender receives one ACK batch per base RTT, reflecting the queue
+    // one RTT ago (the feedback delay). While PFC has the fabric paused
+    // there is no ACK clock, so no feedback is processed.
+    if (!paused) {
+      const int fb_step = std::max(0, step - rtt_steps_base);
+      const double fb_queue = queue_hist[static_cast<std::size_t>(fb_step)];
+      const double rtt = params.base_rtt_s + fb_queue / params.bottleneck_rate;
+      // Per-packet RED marking probability at that queue depth.
+      double mark_p = 0;
+      if (fb_queue > params.ecn_kmax) {
+        mark_p = 1.0;
+      } else if (fb_queue > params.ecn_kmin) {
+        mark_p = params.ecn_pmax * (fb_queue - params.ecn_kmin) /
+                 (params.ecn_kmax - params.ecn_kmin);
+      }
+      for (int i = 0; i < n; ++i) {
+        if ((step + i) % rtt_steps_base != 0) continue;  // staggered phases
+        const double r = rate[static_cast<std::size_t>(i)];
+        // Probability that at least one packet of this sender's last RTT
+        // worth of traffic was marked.
+        constexpr double kMtu = 4096.0;
+        const double packets = std::max(1.0, r * params.base_rtt_s / kMtu);
+        const double p_any =
+            mark_p >= 1.0 ? 1.0 : 1.0 - std::pow(1.0 - mark_p, packets);
+        CcFeedback fb;
+        fb.rtt_s = rtt;
+        fb.ecn = rng.chance(p_any);
+        fb.line_rate = params.line_rate;
+        fb.dt = params.base_rtt_s;
+        rate[static_cast<std::size_t>(i)] =
+            algos[static_cast<std::size_t>(i)]->on_feedback(r, fb);
+      }
+    }
+  }
+
+  CcSimResult result;
+  result.algorithm = algos.front()->name();
+  result.utilization =
+      served_total / (params.bottleneck_rate * params.duration_s);
+  result.mean_queue_bytes = queue_stat.mean();
+  result.p99_queue_bytes = queue_pct.p99();
+  result.pfc_pause_fraction = pause_time / params.duration_s;
+  result.pfc_pause_events = pause_events;
+
+  // Jain fairness over per-sender sent bytes.
+  double sum = 0, sum_sq = 0;
+  for (double s : sent) {
+    sum += s;
+    sum_sq += s * s;
+  }
+  result.fairness =
+      sum_sq > 0 ? (sum * sum) / (static_cast<double>(n) * sum_sq) : 1.0;
+  return result;
+}
+
+}  // namespace ms::net

@@ -1,0 +1,121 @@
+// Congestion-control simulator (MegaScale §3.6 "Congestion control").
+//
+// The paper observes that default DCQCN under all-to-all traffic drives
+// deep switch queues, triggers Priority Flow Control (PFC) pauses and
+// head-of-line blocking; they deploy a hybrid algorithm combining Swift's
+// precise RTT measurement with DCQCN's fast ECN response.
+//
+// We reproduce the mechanism with a time-stepped fluid model of an incast
+// bottleneck: N senders share one switch egress queue. Per step the queue
+// integrates arrivals minus service; ECN marks with a RED-style ramp; PFC
+// pauses *all* senders (that is the HoL collateral damage) when the queue
+// crosses the pause threshold. Each sender runs a pluggable congestion
+// controller fed with delayed (RTT, ECN) feedback.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace ms::net {
+
+struct CcFeedback {
+  double rtt_s = 0;       // measured round-trip time, seconds
+  bool ecn = false;       // ECN-CE observed on this feedback
+  double line_rate = 0;   // bytes/s
+  double dt = 0;          // feedback interval, seconds
+};
+
+/// Per-sender congestion controller. Stateful; one instance per sender.
+class CcAlgorithm {
+ public:
+  virtual ~CcAlgorithm() = default;
+  virtual std::string name() const = 0;
+  /// Initial sending rate (bytes/s) given the NIC line rate.
+  virtual double initial_rate(double line_rate) const { return line_rate; }
+  /// Consumes one feedback sample, returns the new sending rate (bytes/s).
+  virtual double on_feedback(double current_rate, const CcFeedback& fb) = 0;
+};
+
+/// DCQCN (Zhu et al., SIGCOMM'15), simplified: ECN-fraction EWMA `alpha`,
+/// multiplicative decrease on mark, fast-recovery then additive increase.
+class Dcqcn : public CcAlgorithm {
+ public:
+  std::string name() const override { return "DCQCN"; }
+  double on_feedback(double current_rate, const CcFeedback& fb) override;
+
+ private:
+  double alpha_ = 1.0;
+  double target_rate_ = 0;
+  int recovery_stage_ = 0;
+  double since_decrease_s_ = 0;
+};
+
+/// Swift (Kumar et al., SIGCOMM'20), simplified: delay-target AIMD with
+/// multiplicative decrease proportional to delay overshoot.
+class Swift : public CcAlgorithm {
+ public:
+  explicit Swift(double target_delay_s = 20e-6) : target_delay_s_(target_delay_s) {}
+  std::string name() const override { return "Swift"; }
+  double on_feedback(double current_rate, const CcFeedback& fb) override;
+
+ private:
+  double target_delay_s_;
+  double since_decrease_s_ = 0;
+};
+
+/// MegaScale's hybrid: ECN provides the fast brake (multiplicative decrease
+/// before the queue ever reaches the PFC threshold), RTT provides the fine
+/// control that lets the rate sit just under the bandwidth-delay product
+/// instead of oscillating.
+class MegaScaleCc : public CcAlgorithm {
+ public:
+  explicit MegaScaleCc(double target_delay_s = 15e-6)
+      : target_delay_s_(target_delay_s) {}
+  std::string name() const override { return "MegaScaleCC"; }
+  double on_feedback(double current_rate, const CcFeedback& fb) override;
+
+ private:
+  double target_delay_s_;
+  double ecn_ewma_ = 1.0;  // assume congestion until told otherwise
+};
+
+struct CcSimParams {
+  int senders = 16;
+  double line_rate = 25e9;           // bytes/s (200 Gb/s NIC)
+  double bottleneck_rate = 50e9;     // bytes/s (shared egress)
+  double base_rtt_s = 8e-6;
+  double step_s = 2e-6;
+  double duration_s = 0.05;
+  // RED-style ECN marking thresholds (bytes of queue). Defaults mirror a
+  // shallow-headroom production DCQCN config: marking starts late and caps
+  // at 10%, which is exactly the regime where DCQCN lets the queue reach
+  // the PFC threshold under heavy incast (the paper's observation).
+  double ecn_kmin = 400e3;
+  double ecn_kmax = 1600e3;
+  double ecn_pmax = 0.1;
+  // PFC pause/resume thresholds (bytes of queue).
+  double pfc_pause = 2000e3;
+  double pfc_resume = 1600e3;
+};
+
+struct CcSimResult {
+  std::string algorithm;
+  double utilization = 0;        // delivered / (bottleneck * duration)
+  double mean_queue_bytes = 0;
+  double p99_queue_bytes = 0;
+  double pfc_pause_fraction = 0; // fraction of time senders were paused
+  int pfc_pause_events = 0;
+  double fairness = 0;           // Jain index over per-sender delivered bytes
+};
+
+/// Runs the incast scenario with one controller instance per sender.
+/// `make_algorithm` is invoked once per sender.
+CcSimResult run_cc_sim(const CcSimParams& params,
+                       const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm);
+
+}  // namespace ms::net

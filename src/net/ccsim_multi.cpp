@@ -1,0 +1,182 @@
+#include "net/ccsim_multi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace ms::net {
+
+MultiCcResult run_multi_cc_sim(
+    const MultiCcParams& params,
+    const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm) {
+  const int hops = params.hops;
+  const int n = static_cast<int>(params.flows.size());
+  assert(hops >= 1 && n >= 1);
+  const double dt = params.step_s;
+  const int steps = static_cast<int>(params.duration_s / dt);
+  const int rtt_steps = std::max(1, static_cast<int>(params.base_rtt_s / dt));
+
+  std::vector<std::unique_ptr<CcAlgorithm>> algos;
+  std::vector<double> rate(static_cast<std::size_t>(n));
+  std::vector<double> delivered(static_cast<std::size_t>(n), 0.0);
+  for (int f = 0; f < n; ++f) {
+    algos.push_back(make_algorithm());
+    rate[static_cast<std::size_t>(f)] =
+        algos.back()->initial_rate(params.flows[static_cast<std::size_t>(f)].line_rate);
+  }
+
+  std::vector<double> queue(static_cast<std::size_t>(hops), 0.0);
+  std::vector<char> egress_paused(static_cast<std::size_t>(hops), 0);
+  std::vector<double> pause_time(static_cast<std::size_t>(hops), 0.0);
+  std::vector<int> pause_events(static_cast<std::size_t>(hops), 0);
+  std::vector<double> max_queue(static_cast<std::size_t>(hops), 0.0);
+  // Per-step history of per-hop queue for delayed feedback.
+  std::vector<std::vector<double>> history(
+      static_cast<std::size_t>(steps) + 1,
+      std::vector<double>(static_cast<std::size_t>(hops), 0.0));
+
+  Rng rng(0xCCA11);
+
+  for (int step = 0; step < steps; ++step) {
+    // --- data plane: shape each flow hop by hop (fluid FIFO) ---
+    // forwarded[f] = rate after shaping through all its hops this step.
+    std::vector<double> forwarded = rate;
+    for (int h = 0; h < hops; ++h) {
+      // Is this hop's egress paused by downstream PFC (hop h+1 over
+      // threshold)? Pause state recorded from the previous step.
+      const bool paused = egress_paused[static_cast<std::size_t>(h)] != 0;
+      double arrival = 0;
+      for (int f = 0; f < n; ++f) {
+        const auto& flow = params.flows[static_cast<std::size_t>(f)];
+        if (flow.first_hop <= h && h <= flow.last_hop) {
+          arrival += forwarded[static_cast<std::size_t>(f)];
+        }
+      }
+      const double service = paused ? 0.0 : params.capacity_of(h);
+      double& q = queue[static_cast<std::size_t>(h)];
+      const double backlog = q + arrival * dt;
+      const double served = std::min(backlog, service * dt);
+      q = backlog - served;
+      max_queue[static_cast<std::size_t>(h)] =
+          std::max(max_queue[static_cast<std::size_t>(h)], q);
+      if (paused) pause_time[static_cast<std::size_t>(h)] += dt;
+
+      // Flows crossing this hop are shaped to their FIFO share of what the
+      // hop actually served (HoL: everyone shares the same fate).
+      const double share = arrival > 0 ? served / (arrival * dt) : 1.0;
+      for (int f = 0; f < n; ++f) {
+        const auto& flow = params.flows[static_cast<std::size_t>(f)];
+        if (flow.first_hop <= h && h <= flow.last_hop) {
+          forwarded[static_cast<std::size_t>(f)] *= std::min(1.0, share);
+        }
+      }
+    }
+    for (int f = 0; f < n; ++f) {
+      delivered[static_cast<std::size_t>(f)] +=
+          forwarded[static_cast<std::size_t>(f)] * dt;
+    }
+    history[static_cast<std::size_t>(step) + 1] = queue;
+
+    // --- PFC state: queue h over threshold pauses hop h-1's egress ---
+    for (int h = 0; h < hops; ++h) {
+      const bool over = queue[static_cast<std::size_t>(h)] > params.pfc_pause;
+      const bool under = queue[static_cast<std::size_t>(h)] < params.pfc_resume;
+      if (h > 0) {
+        char& upstream = egress_paused[static_cast<std::size_t>(h - 1)];
+        if (over && !upstream) {
+          upstream = 1;
+          ++pause_events[static_cast<std::size_t>(h - 1)];
+        } else if (under && upstream) {
+          upstream = 0;
+        }
+      }
+    }
+
+    // --- control plane: per-RTT feedback with path-combined marking ---
+    const int fb_step = std::max(0, step - rtt_steps);
+    const auto& fb_queues = history[static_cast<std::size_t>(fb_step)];
+    for (int f = 0; f < n; ++f) {
+      if ((step + f) % rtt_steps != 0) continue;
+      const auto& flow = params.flows[static_cast<std::size_t>(f)];
+      double rtt = params.base_rtt_s;
+      double no_mark = 1.0;
+      for (int h = flow.first_hop; h <= flow.last_hop; ++h) {
+        const double q = fb_queues[static_cast<std::size_t>(h)];
+        rtt += q / params.capacity_of(h);
+        double p = 0;
+        if (q > params.ecn_kmax) {
+          p = 1.0;
+        } else if (q > params.ecn_kmin) {
+          p = params.ecn_pmax * (q - params.ecn_kmin) /
+              (params.ecn_kmax - params.ecn_kmin);
+        }
+        constexpr double kMtu = 4096.0;
+        const double packets = std::max(
+            1.0, rate[static_cast<std::size_t>(f)] * params.base_rtt_s / kMtu);
+        no_mark *= std::pow(1.0 - p, packets);
+      }
+      CcFeedback fb;
+      fb.rtt_s = rtt;
+      fb.ecn = rng.chance(1.0 - no_mark);
+      fb.line_rate = flow.line_rate;
+      fb.dt = params.base_rtt_s;
+      rate[static_cast<std::size_t>(f)] =
+          algos[static_cast<std::size_t>(f)]->on_feedback(
+              rate[static_cast<std::size_t>(f)], fb);
+    }
+  }
+
+  MultiCcResult result;
+  for (int f = 0; f < n; ++f) {
+    result.flow_goodput_frac.push_back(
+        delivered[static_cast<std::size_t>(f)] /
+        (params.flows[static_cast<std::size_t>(f)].line_rate *
+         params.duration_s));
+  }
+  for (int h = 0; h < hops; ++h) {
+    result.hop_pause_fraction.push_back(
+        pause_time[static_cast<std::size_t>(h)] / params.duration_s);
+    result.hop_pause_events.push_back(pause_events[static_cast<std::size_t>(h)]);
+    result.hop_max_queue.push_back(max_queue[static_cast<std::size_t>(h)]);
+  }
+  return result;
+}
+
+VictimReport run_victim_scenario(
+    int incast_senders,
+    const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm) {
+  MultiCcParams params;
+  params.hops = 3;
+  // First hops have headroom; the LAST hop is the bottleneck (a slow
+  // receiver or a hashing hot spot): that is where the queue builds and
+  // where PFC pause frames start cascading upstream.
+  params.hop_capacities = {200e9, 200e9, 25e9};
+  // Shallow-buffer ToR: per-priority headroom of ~1.2 MB before PFC.
+  params.pfc_pause = 1200e3;
+  params.pfc_resume = 1000e3;
+  // Incast enters at hop 1 and collides at hop 2; the victim uses ONLY
+  // hop 0 and shares no queue with the incast. Any victim slowdown is pure
+  // PFC collateral: queue2 over threshold pauses hop1, queue1 then builds
+  // and pauses hop0 — the victim's hop — even though the victim's own path
+  // has abundant capacity.
+  for (int i = 0; i < incast_senders; ++i) {
+    params.flows.push_back({1, 2, 25e9});
+  }
+  params.flows.push_back({0, 0, 25e9});
+
+  const auto result = run_multi_cc_sim(params, make_algorithm);
+  VictimReport report;
+  report.victim_goodput = result.flow_goodput_frac.back();
+  double incast = 0;
+  for (int i = 0; i < incast_senders; ++i) {
+    incast += result.flow_goodput_frac[static_cast<std::size_t>(i)];
+  }
+  // Fraction of the 25 GB/s bottleneck the incast aggregate achieved.
+  report.incast_goodput = incast * 25e9 / 25e9 / 1.0;
+  report.first_hop_pause_fraction = result.hop_pause_fraction.front();
+  return report;
+}
+
+}  // namespace ms::net

@@ -1,0 +1,78 @@
+// Multi-hop congestion-control simulation: PFC cascades and head-of-line
+// victims (MegaScale §3.6).
+//
+// The single-bottleneck model in ccsim.h shows queue depth and pause time;
+// what it cannot show is WHY PFC is so damaging in a fabric: a pause frame
+// stops the upstream port's entire egress, so flows that never touch the
+// congested queue stall behind the ones that do. This "parking lot" model
+// chains queues: flow f traverses hops [first_hop, last_hop]; when queue i
+// crosses its PFC threshold it pauses queue i-1's egress (and the senders
+// injecting at hop i); a paused queue serves nobody — including innocent
+// flows that exit before the congestion point.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/ccsim.h"
+
+namespace ms::net {
+
+struct MultiHopFlow {
+  int first_hop = 0;
+  int last_hop = 0;  // inclusive
+  double line_rate = 25e9;
+};
+
+struct MultiCcParams {
+  int hops = 3;
+  double hop_capacity = 50e9;   // bytes/s service per queue (default)
+  /// Optional per-hop override (size == hops); empty = uniform.
+  std::vector<double> hop_capacities;
+  double capacity_of(int hop) const {
+    return hop_capacities.empty()
+               ? hop_capacity
+               : hop_capacities[static_cast<std::size_t>(hop)];
+  }
+  double base_rtt_s = 8e-6;
+  double step_s = 2e-6;
+  double duration_s = 0.03;
+  double ecn_kmin = 400e3;
+  double ecn_kmax = 1600e3;
+  double ecn_pmax = 0.1;
+  double pfc_pause = 2000e3;
+  double pfc_resume = 1600e3;
+  std::vector<MultiHopFlow> flows;
+};
+
+struct MultiCcResult {
+  /// Delivered bytes / (line_rate * duration) per flow.
+  std::vector<double> flow_goodput_frac;
+  /// Fraction of time each hop's egress was paused by downstream PFC.
+  std::vector<double> hop_pause_fraction;
+  /// Pause events observed at each hop.
+  std::vector<int> hop_pause_events;
+  /// Max queue depth per hop (bytes).
+  std::vector<double> hop_max_queue;
+};
+
+/// Runs the chain with one congestion controller per flow.
+MultiCcResult run_multi_cc_sim(
+    const MultiCcParams& params,
+    const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm);
+
+/// The §3.6 victim scenario: `incast_senders` flows cross every hop and
+/// congest the last one; one victim flow uses only the first hop. Returns
+/// {victim goodput fraction, incast aggregate goodput fraction,
+/// first-hop pause fraction}.
+struct VictimReport {
+  double victim_goodput = 0;
+  double incast_goodput = 0;
+  double first_hop_pause_fraction = 0;
+};
+VictimReport run_victim_scenario(
+    int incast_senders,
+    const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm);
+
+}  // namespace ms::net

@@ -1,0 +1,139 @@
+#include "net/ecmp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace ms::net {
+
+std::uint64_t EcmpRouter::hash_tuple(const FlowSpec& flow) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  h = splitmix64(h ^ static_cast<std::uint64_t>(flow.src_host));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(flow.dst_host));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(flow.rail));
+  h = splitmix64(h ^ flow.flow_label);
+  return h;
+}
+
+Path EcmpRouter::route(const FlowSpec& flow) const {
+  auto paths = topo_->ecmp_paths(flow.src_host, flow.dst_host, flow.rail);
+  if (paths.empty()) return {};
+  const std::uint64_t h = hash_tuple(flow);
+  return paths[h % paths.size()];
+}
+
+EcmpReport analyze_ecmp(const ClosTopology& topo,
+                        const std::vector<FlowSpec>& flows) {
+  EcmpRouter router(topo);
+  std::unordered_map<LinkId, int> load;
+  std::vector<Path> routes;
+  routes.reserve(flows.size());
+  double hop_sum = 0;
+  for (const auto& f : flows) {
+    Path p = router.route(f);
+    hop_sum += static_cast<double>(p.size());
+    for (LinkId l : p) ++load[l];
+    routes.push_back(std::move(p));
+  }
+
+  EcmpReport report;
+  report.flows = static_cast<int>(flows.size());
+  if (flows.empty()) return report;
+
+  const Bandwidth line_rate = topo.params().nic_bw;
+  double sum = 0;
+  double min_frac = 1.0;
+  int conflicted = 0;
+  for (const auto& p : routes) {
+    Bandwidth rate = line_rate;
+    for (LinkId l : p) {
+      const Bandwidth share =
+          topo.link(l).capacity / static_cast<double>(load[l]);
+      rate = std::min(rate, share);
+    }
+    const double frac = rate / line_rate;
+    sum += frac;
+    min_frac = std::min(min_frac, frac);
+    if (frac < 0.99) ++conflicted;
+  }
+  report.mean_throughput_frac = sum / static_cast<double>(flows.size());
+  report.min_throughput_frac = min_frac;
+  report.conflict_fraction =
+      static_cast<double>(conflicted) / static_cast<double>(flows.size());
+  report.mean_hops = hop_sum / static_cast<double>(flows.size());
+
+  int max_uplink = 0;
+  for (const auto& [l, n] : load) {
+    const auto& link = topo.link(l);
+    const bool inter_switch = topo.node(link.src).kind != NodeKind::kHost &&
+                              topo.node(link.dst).kind != NodeKind::kHost;
+    if (inter_switch) max_uplink = std::max(max_uplink, n);
+  }
+  report.max_flows_per_uplink = max_uplink;
+  return report;
+}
+
+std::vector<FlowSpec> permutation_traffic(const ClosTopology& topo, Rng& rng) {
+  const int n = topo.params().hosts;
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(perm);
+  // Fix self-mappings by rotating them onto their neighbor.
+  for (int i = 0; i < n; ++i) {
+    if (perm[static_cast<std::size_t>(i)] == i) {
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>((i + 1) % n)]);
+    }
+  }
+  std::vector<FlowSpec> flows;
+  flows.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    FlowSpec f;
+    f.src_host = i;
+    f.dst_host = perm[static_cast<std::size_t>(i)];
+    f.rail = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(topo.params().nics_per_host)));
+    f.flow_label = rng.next_u64();
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> ring_traffic(const ClosTopology& topo, int group_size,
+                                   bool pack_under_tor, Rng& rng) {
+  const auto& p = topo.params();
+  assert(group_size >= 2 && group_size <= p.hosts);
+  std::vector<int> members;
+  if (pack_under_tor) {
+    // Consecutive hosts share ToRs on every rail: pick a random aligned run.
+    const int max_start = p.hosts - group_size;
+    int start = max_start > 0
+                    ? static_cast<int>(rng.uniform_index(
+                          static_cast<std::uint64_t>(max_start + 1)))
+                    : 0;
+    // Align to the ToR boundary when the group fits under one ToR.
+    if (group_size <= p.hosts_per_tor) {
+      start = (start / p.hosts_per_tor) * p.hosts_per_tor;
+      if (start + group_size > p.hosts) start = 0;
+    }
+    for (int i = 0; i < group_size; ++i) members.push_back(start + i);
+  } else {
+    auto idx = rng.sample_without_replacement(
+        static_cast<std::size_t>(p.hosts), static_cast<std::size_t>(group_size));
+    for (auto i : idx) members.push_back(static_cast<int>(i));
+  }
+  std::vector<FlowSpec> flows;
+  flows.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    FlowSpec f;
+    f.src_host = members[i];
+    f.dst_host = members[(i + 1) % members.size()];
+    f.rail = static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(p.nics_per_host)));
+    f.flow_label = rng.next_u64();
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace ms::net

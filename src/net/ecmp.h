@@ -1,0 +1,76 @@
+// ECMP hashing, conflict analysis and placement policy (MegaScale §3.6).
+//
+// ECMP routers pick one of the equal-cost paths by hashing the flow's
+// 5-tuple. Two elephant flows hashed onto the same uplink halve each other —
+// the "ECMP hashing conflict" the paper mitigates by (a) splitting 400G ToR
+// downlink ports into 2x200G so each uplink has 2x headroom and (b)
+// scheduling data-intensive peers under the same ToR so their traffic never
+// ascends past the ToR layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "net/topology.h"
+
+namespace ms::net {
+
+struct FlowSpec {
+  int src_host = 0;
+  int dst_host = 0;
+  int rail = 0;
+  /// Stands in for the (src port, dst port, protocol) entropy of the real
+  /// 5-tuple; different values may hash to different paths.
+  std::uint64_t flow_label = 0;
+};
+
+/// Deterministic ECMP path selection: hash(5-tuple) % path-count, the same
+/// decision every switch chain would make for that flow.
+class EcmpRouter {
+ public:
+  explicit EcmpRouter(const ClosTopology& topo) : topo_(&topo) {}
+
+  /// The selected path (empty for src==dst).
+  Path route(const FlowSpec& flow) const;
+
+  static std::uint64_t hash_tuple(const FlowSpec& flow);
+
+ private:
+  const ClosTopology* topo_;
+};
+
+struct EcmpReport {
+  int flows = 0;
+  /// Per-flow attained rate / NIC line rate under equal-share contention.
+  double mean_throughput_frac = 0;
+  double min_throughput_frac = 0;
+  /// Fraction of flows attaining < 99% of line rate (i.e. conflicted).
+  double conflict_fraction = 0;
+  /// Max number of flows sharing one inter-switch link.
+  int max_flows_per_uplink = 0;
+  double mean_hops = 0;
+};
+
+/// Routes all flows, computes per-link loads and the equal-share rate of
+/// every flow: rate = min over links of capacity / flows-on-link, capped at
+/// the NIC rate. (The flow-level simulator in flowsim.h computes exact
+/// max-min rates; this closed form is the standard approximation and is
+/// cross-validated against it in tests.)
+EcmpReport analyze_ecmp(const ClosTopology& topo,
+                        const std::vector<FlowSpec>& flows);
+
+/// Workload generators for the conflict experiments.
+///
+/// Random permutation traffic: every host sends one flow to a random other
+/// host (classic worst case for ECMP).
+std::vector<FlowSpec> permutation_traffic(const ClosTopology& topo, Rng& rng);
+
+/// Ring-neighbor traffic among `group` hosts (the dominant pattern of
+/// pipeline parallelism / ring collectives): host[i] -> host[i+1].
+/// If `pack_under_tor` the group is chosen as consecutive hosts under the
+/// same ToR (the paper's placement policy); otherwise spread randomly.
+std::vector<FlowSpec> ring_traffic(const ClosTopology& topo, int group_size,
+                                   bool pack_under_tor, Rng& rng);
+
+}  // namespace ms::net

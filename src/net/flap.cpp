@@ -1,0 +1,79 @@
+#include "net/flap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ms::net {
+
+FlapOutcome simulate_transfer_with_flaps(Bytes size, Bandwidth bw,
+                                         const std::vector<FlapEvent>& flaps,
+                                         const RetransConfig& cfg) {
+  assert(size > 0 && bw > 0);
+  FlapOutcome out;
+  double remaining = static_cast<double>(size);
+  TimeNs now = 0;
+  std::size_t next_flap = 0;
+
+  while (remaining > 0) {
+    // Transfer until done or the next flap interrupts.
+    const double finish_dt_s = remaining / bw;
+    const TimeNs finish_at = now + seconds(finish_dt_s);
+    if (next_flap >= flaps.size() || finish_at <= flaps[next_flap].down_at) {
+      now = finish_at;
+      remaining = 0;
+      break;
+    }
+
+    // Progress up to the flap, then stall.
+    const FlapEvent& flap = flaps[next_flap];
+    const double sent_s = to_seconds(flap.down_at - now);
+    remaining -= sent_s * bw;
+    now = flap.down_at;
+    ++next_flap;
+
+    // Stall phase: retransmission attempts until the link is back.
+    // First detection happens one RTO after the stall begins; the data that
+    // was in flight is lost (we charge one RTO worth of silence, which also
+    // models the paper's "default value makes NCCL timeout very quickly").
+    TimeNs stall_start = now;
+    TimeNs attempt_at = now + cfg.rto;
+    int retries = 0;
+    bool resumed = false;
+    while (!resumed) {
+      if (attempt_at - stall_start >= cfg.nccl_timeout) {
+        out.nccl_error = true;
+        out.error_kind = "nccl-timeout";
+        out.total_stall += cfg.nccl_timeout;
+        out.finish_time = stall_start + cfg.nccl_timeout;
+        return out;
+      }
+      if (attempt_at >= flap.up_at()) {
+        // Link restored by the time of this probe: transfer resumes.
+        now = attempt_at;
+        resumed = true;
+        break;
+      }
+      // Probe failed; burn a retry.
+      ++retries;
+      out.retries_used = std::max(out.retries_used, retries);
+      if (retries > cfg.max_retries) {
+        out.nccl_error = true;
+        out.error_kind = "retries-exhausted";
+        out.total_stall += attempt_at - stall_start;
+        out.finish_time = attempt_at;
+        return out;
+      }
+      const TimeNs interval =
+          cfg.adaptive ? cfg.adaptive_interval
+                       : cfg.rto * (TimeNs{1} << std::min(retries, 6));
+      attempt_at += interval;
+    }
+    out.total_stall += now - stall_start;
+  }
+
+  out.completed = true;
+  out.finish_time = now;
+  return out;
+}
+
+}  // namespace ms::net

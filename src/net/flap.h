@@ -1,0 +1,58 @@
+// Link-flapping and retransmit-timeout model (MegaScale §3.6, §6.3).
+//
+// Production lesson from the paper: when a NIC "flaps" (link down for a few
+// seconds, then up), every in-flight packet is lost. Two knobs decide
+// whether the job survives:
+//  * the NCCL communication timeout — if it is shorter than the flap, NCCL
+//    returns a completion error and the whole job restarts from checkpoint;
+//  * the NIC retransmission timer / retry count — the `adap_retrans`
+//    feature retries on a short interval, so the transfer resumes almost
+//    immediately once the link is back.
+#pragma once
+
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace ms::net {
+
+/// One link-down episode.
+struct FlapEvent {
+  TimeNs down_at = 0;
+  TimeNs down_duration = 0;
+  TimeNs up_at() const { return down_at + down_duration; }
+};
+
+struct RetransConfig {
+  /// Loss-detection / first-retransmit timeout.
+  TimeNs rto = milliseconds(200.0);
+  /// Retry budget before the transport reports a connection error. The
+  /// paper tunes this up so that short flaps never exhaust it.
+  int max_retries = 64;
+  /// Non-adaptive NICs back off exponentially (rto, 2*rto, 4*rto, ...);
+  /// adap_retrans probes on a short fixed interval instead.
+  bool adaptive = false;
+  TimeNs adaptive_interval = milliseconds(50.0);
+  /// NCCL collective timeout: if a transfer stalls longer than this in one
+  /// blockage, NCCL aborts and the training job must restart.
+  TimeNs nccl_timeout = seconds(30.0);
+};
+
+struct FlapOutcome {
+  bool completed = false;
+  /// True when NCCL aborted (timeout) or the transport gave up (retries).
+  bool nccl_error = false;
+  const char* error_kind = "";  // "", "nccl-timeout", "retries-exhausted"
+  TimeNs finish_time = -1;
+  TimeNs total_stall = 0;
+  int retries_used = 0;
+};
+
+/// Simulates one point-to-point transfer of `size` bytes at `bw` over a link
+/// with the given flap schedule (flaps must be sorted, non-overlapping).
+FlapOutcome simulate_transfer_with_flaps(Bytes size, Bandwidth bw,
+                                         const std::vector<FlapEvent>& flaps,
+                                         const RetransConfig& cfg);
+
+}  // namespace ms::net

@@ -1,0 +1,168 @@
+#include "net/flowsim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ms::net {
+
+FlowSim::FlowSim(const ClosTopology& topo) : topo_(&topo) {}
+
+int FlowSim::add_flow(Path path, Bytes size, TimeNs arrival) {
+  assert(!ran_);
+  if (path.empty()) {
+    throw std::invalid_argument("FlowSim: empty path (intra-host transfer)");
+  }
+  assert(size > 0 && arrival >= 0);
+  FlowState f;
+  f.path = std::move(path);
+  f.remaining = static_cast<double>(size);
+  flows_.push_back(std::move(f));
+  FlowResult r;
+  r.arrival = arrival;
+  r.size = size;
+  results_.push_back(r);
+  return static_cast<int>(flows_.size() - 1);
+}
+
+std::vector<double> FlowSim::compute_rates() const {
+  const std::size_t n = flows_.size();
+  std::vector<double> rate(n, 0.0);
+  std::vector<char> fixed(n, 1);
+  // residual capacity per link; number of unfixed flows per link.
+  std::vector<double> residual(topo_->links().size());
+  std::vector<int> unfixed_count(topo_->links().size(), 0);
+  for (std::size_t l = 0; l < residual.size(); ++l) {
+    residual[l] = topo_->links()[l].capacity;
+  }
+  std::size_t unfixed_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (flows_[i].active && !flows_[i].finished) {
+      fixed[i] = 0;
+      ++unfixed_total;
+      for (LinkId l : flows_[i].path) ++unfixed_count[static_cast<std::size_t>(l)];
+    }
+  }
+
+  while (unfixed_total > 0) {
+    // Bottleneck link: minimal fair share among links carrying unfixed flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < residual.size(); ++l) {
+      if (unfixed_count[l] > 0) {
+        best_share = std::min(best_share,
+                              residual[l] / static_cast<double>(unfixed_count[l]));
+      }
+    }
+    assert(std::isfinite(best_share));
+    // Freeze every unfixed flow crossing a link whose share equals the
+    // bottleneck share (within tolerance).
+    const double eps = best_share * 1e-12 + 1e-9;
+    bool froze_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      bool bottlenecked = false;
+      for (LinkId l : flows_[i].path) {
+        const auto li = static_cast<std::size_t>(l);
+        const double share = residual[li] / static_cast<double>(unfixed_count[li]);
+        if (share <= best_share + eps) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      rate[i] = best_share;
+      fixed[i] = 1;
+      --unfixed_total;
+      froze_any = true;
+      for (LinkId l : flows_[i].path) {
+        const auto li = static_cast<std::size_t>(l);
+        residual[li] -= best_share;
+        if (residual[li] < 0) residual[li] = 0;
+        --unfixed_count[li];
+      }
+    }
+    if (!froze_any) {
+      throw std::logic_error("FlowSim: progressive filling stalled");
+    }
+  }
+  return rate;
+}
+
+void FlowSim::run() {
+  if (ran_) throw std::logic_error("FlowSim::run called twice");
+  ran_ = true;
+  const std::size_t n = flows_.size();
+  if (n == 0) return;
+
+  // Arrival order.
+  std::vector<std::size_t> by_arrival(n);
+  for (std::size_t i = 0; i < n; ++i) by_arrival[i] = i;
+  std::sort(by_arrival.begin(), by_arrival.end(), [&](std::size_t a, std::size_t b) {
+    return results_[a].arrival < results_[b].arrival;
+  });
+
+  std::size_t next_arrival = 0;
+  std::size_t remaining_flows = n;
+  double now_sec = 0.0;
+
+  while (remaining_flows > 0) {
+    // Activate flows whose arrival time has come.
+    while (next_arrival < n &&
+           to_seconds(results_[by_arrival[next_arrival]].arrival) <=
+               now_sec + 1e-15) {
+      flows_[by_arrival[next_arrival]].active = true;
+      ++next_arrival;
+    }
+
+    bool any_active = false;
+    for (const auto& f : flows_) {
+      if (f.active && !f.finished) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) {
+      // Jump to the next arrival.
+      assert(next_arrival < n);
+      now_sec = to_seconds(results_[by_arrival[next_arrival]].arrival);
+      continue;
+    }
+
+    const auto rates = compute_rates();
+
+    // Time until the first of {next completion, next arrival}.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (flows_[i].active && !flows_[i].finished && rates[i] > 0) {
+        dt = std::min(dt, flows_[i].remaining / rates[i]);
+      }
+    }
+    if (next_arrival < n) {
+      const double ta = to_seconds(results_[by_arrival[next_arrival]].arrival);
+      dt = std::min(dt, ta - now_sec);
+    }
+    assert(std::isfinite(dt) && dt >= 0);
+
+    // Advance.
+    now_sec += dt;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!flows_[i].active || flows_[i].finished) continue;
+      flows_[i].remaining -= rates[i] * dt;
+      if (flows_[i].remaining <= 1e-6) {
+        flows_[i].finished = true;
+        results_[i].finish = seconds(now_sec);
+        --remaining_flows;
+      }
+    }
+  }
+}
+
+TimeNs FlowSim::makespan() const {
+  TimeNs m = 0;
+  for (const auto& r : results_) m = std::max(m, r.finish);
+  return m;
+}
+
+}  // namespace ms::net

@@ -1,0 +1,69 @@
+// Max-min fair flow-level network simulator.
+//
+// The reference model for "what does the fabric actually give each flow":
+// flows are fluid, every link shares its capacity max-min fairly among the
+// flows crossing it (the classic idealization of per-flow fair queueing /
+// well-behaved congestion control). Used to
+//   (a) cross-validate the closed-form collective cost models, and
+//   (b) quantify ECMP conflict damage with exact rates rather than the
+//       equal-share approximation.
+//
+// Events are flow arrivals and completions; rates are recomputed by
+// progressive filling at each event. Complexity O(events * links * flows),
+// fine for the experiment sizes here.
+#pragma once
+
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "net/topology.h"
+
+namespace ms::net {
+
+struct FlowResult {
+  TimeNs arrival = 0;
+  TimeNs finish = -1;   // -1 until completed
+  Bytes size = 0;
+  bool done() const { return finish >= 0; }
+  TimeNs duration() const { return finish - arrival; }
+};
+
+class FlowSim {
+ public:
+  explicit FlowSim(const ClosTopology& topo);
+
+  /// Adds a flow that becomes active at `arrival`. The path must be
+  /// non-empty (intra-host transfers never touch the fabric). Returns a
+  /// dense flow id.
+  int add_flow(Path path, Bytes size, TimeNs arrival = 0);
+
+  /// Runs all flows to completion.
+  void run();
+
+  const FlowResult& result(int flow) const {
+    return results_[static_cast<std::size_t>(flow)];
+  }
+  std::size_t flow_count() const { return results_.size(); }
+
+  /// Completion time of the last flow.
+  TimeNs makespan() const;
+
+ private:
+  struct FlowState {
+    Path path;
+    double remaining = 0;  // bytes
+    bool active = false;
+    bool finished = false;
+  };
+
+  /// Max-min rates for currently active flows (bytes/sec, indexed by flow).
+  std::vector<double> compute_rates() const;
+
+  const ClosTopology* topo_;
+  std::vector<FlowState> flows_;
+  std::vector<FlowResult> results_;
+  bool ran_ = false;
+};
+
+}  // namespace ms::net

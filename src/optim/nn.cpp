@@ -1,0 +1,150 @@
+#include "optim/nn.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ms::optim {
+
+Linear::Linear(int in, int out, Rng& rng, const std::string& name)
+    : weight_(Tensor::randn({in, out}, rng,
+                            1.0f / std::sqrt(static_cast<float>(in)), true)),
+      bias_(Tensor::zeros({out}, true)),
+      name_(name) {}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return add(matmul(x, weight_), bias_);
+}
+
+void Linear::collect(std::vector<Param>& out) const {
+  out.push_back({name_ + ".weight", weight_});
+  out.push_back({name_ + ".bias", bias_});
+}
+
+LayerNorm::LayerNorm(int dim, const std::string& name)
+    : gamma_(Tensor::full({dim}, 1.0f, true)),
+      beta_(Tensor::zeros({dim}, true)),
+      name_(name) {}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return layernorm(x, gamma_, beta_);
+}
+
+void LayerNorm::collect(std::vector<Param>& out) const {
+  out.push_back({name_ + ".gamma", gamma_});
+  out.push_back({name_ + ".beta", beta_});
+}
+
+TransformerBlock::TransformerBlock(const TinyGptConfig& cfg, Rng& rng,
+                                   const std::string& name)
+    : cfg_(cfg),
+      ln1_(cfg.hidden, name + ".ln1"),
+      ln2_(cfg.hidden, name + ".ln2"),
+      qkv_(cfg.hidden, 3 * cfg.hidden, rng, name + ".qkv"),
+      proj_(cfg.hidden, cfg.hidden, rng, name + ".proj"),
+      fc1_(cfg.hidden, cfg.ffn_hidden, rng, name + ".fc1"),
+      fc2_(cfg.ffn_hidden, cfg.hidden, rng, name + ".fc2") {}
+
+Tensor TransformerBlock::forward(const Tensor& x) const {
+  const int T = x.dim(0);
+  const int H = cfg_.hidden;
+
+  auto attention_branch = [&](const Tensor& input) {
+    Tensor qkv = qkv_.forward(input);  // [T, 3H]
+    // Split into Q, K, V views (materialized copies for simplicity).
+    auto split = [&](int which) {
+      std::vector<float> part(static_cast<std::size_t>(T) * H);
+      const float* src = qkv.data();
+      for (int i = 0; i < T; ++i) {
+        for (int j = 0; j < H; ++j) {
+          part[static_cast<std::size_t>(i) * H + j] =
+              src[static_cast<std::size_t>(i) * 3 * H + which * H + j];
+        }
+      }
+      Tensor tqkv = qkv;
+      return make_result(
+          std::move(part), {T, H}, {qkv}, [tqkv, which, T, H](Node& res) mutable {
+            if (!tqkv.requires_grad()) return;
+            float* dq = tqkv.grad();
+            const float* g = res.grad.data();
+            for (int i = 0; i < T; ++i) {
+              for (int j = 0; j < H; ++j) {
+                dq[static_cast<std::size_t>(i) * 3 * H + which * H + j] +=
+                    g[static_cast<std::size_t>(i) * H + j];
+              }
+            }
+          });
+    };
+    Tensor q = split(0), k = split(1), v = split(2);
+    Tensor attn_out = attention(q, k, v, cfg_.heads, cfg_.window);
+    return proj_.forward(attn_out);
+  };
+  auto mlp_branch = [&](const Tensor& input) {
+    return fc2_.forward(gelu(fc1_.forward(input)));
+  };
+
+  if (cfg_.parallel_block) {
+    // §3.1 Eq. 2: y = x + MLP(LN(x)) + Attention(LN(x)).
+    Tensor normed = ln1_.forward(x);
+    return add(x, add(mlp_branch(normed), attention_branch(normed)));
+  }
+  // §3.1 Eq. 1: y = x' + MLP(LN(x')), x' = x + Attention(LN(x)).
+  Tensor x1 = add(x, attention_branch(ln1_.forward(x)));
+  return add(x1, mlp_branch(ln2_.forward(x1)));
+}
+
+void TransformerBlock::collect(std::vector<Param>& out) const {
+  ln1_.collect(out);
+  if (!cfg_.parallel_block) ln2_.collect(out);
+  qkv_.collect(out);
+  proj_.collect(out);
+  fc1_.collect(out);
+  fc2_.collect(out);
+}
+
+TinyGpt::TinyGpt(const TinyGptConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      embedding_(Tensor::randn({cfg.vocab, cfg.hidden}, rng, 0.02f, true)),
+      pos_embedding_(Tensor::randn({cfg.seq_len, cfg.hidden}, rng, 0.02f, true)),
+      final_ln_(cfg.hidden, "final_ln"),
+      head_(cfg.hidden, cfg.vocab, rng, "head") {
+  for (int l = 0; l < cfg.layers; ++l) {
+    blocks_.emplace_back(cfg, rng, "block" + std::to_string(l));
+  }
+}
+
+Tensor TinyGpt::forward(const std::vector<int>& tokens) const {
+  assert(static_cast<int>(tokens.size()) <= cfg_.seq_len);
+  std::vector<int> positions(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    positions[i] = static_cast<int>(i);
+  }
+  Tensor x = add(embedding(tokens, embedding_),
+                 embedding(positions, pos_embedding_));
+  for (const auto& block : blocks_) x = block.forward(x);
+  return head_.forward(final_ln_.forward(x));
+}
+
+Tensor TinyGpt::loss(const std::vector<int>& tokens) const {
+  assert(tokens.size() >= 2);
+  std::vector<int> inputs(tokens.begin(), tokens.end() - 1);
+  std::vector<int> targets(tokens.begin() + 1, tokens.end());
+  return cross_entropy(forward(inputs), targets);
+}
+
+std::vector<Param> TinyGpt::parameters() const {
+  std::vector<Param> params;
+  params.push_back({"embedding", embedding_});
+  params.push_back({"pos_embedding", pos_embedding_});
+  for (const auto& block : blocks_) block.collect(params);
+  final_ln_.collect(params);
+  head_.collect(params);
+  return params;
+}
+
+std::int64_t TinyGpt::parameter_count() const {
+  std::int64_t total = 0;
+  for (const auto& p : parameters()) total += p.tensor.numel();
+  return total;
+}
+
+}  // namespace ms::optim

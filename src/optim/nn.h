@@ -1,0 +1,98 @@
+// Transformer building blocks over the autograd substrate.
+//
+// TinyGPT is the 13B model's laptop-scale stand-in for the §6.2 convergence
+// microbenchmarks: same architecture family (pre-LN causal transformer LM),
+// with the two MegaScale §3.1 architecture switches implemented for real —
+// the parallel transformer block (Eq. 2) and sliding-window attention.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "optim/autograd.h"
+
+namespace ms::optim {
+
+/// Named parameter for optimizers and checkpoints.
+struct Param {
+  std::string name;
+  Tensor tensor;
+};
+
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in, int out, Rng& rng, const std::string& name);
+  Tensor forward(const Tensor& x) const;  // x: [T, in] -> [T, out]
+  void collect(std::vector<Param>& out) const;
+
+ private:
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out]
+  std::string name_;
+};
+
+class LayerNorm {
+ public:
+  LayerNorm() = default;
+  LayerNorm(int dim, const std::string& name);
+  Tensor forward(const Tensor& x) const;
+  void collect(std::vector<Param>& out) const;
+
+ private:
+  Tensor gamma_, beta_;
+  std::string name_;
+};
+
+struct TinyGptConfig {
+  int vocab = 256;
+  int seq_len = 64;
+  int hidden = 64;
+  int heads = 4;
+  int layers = 2;
+  int ffn_hidden = 256;
+  bool parallel_block = false;  ///< §3.1 PTB: y = x + MLP(LN(x)) + Attn(LN(x))
+  int window = 0;               ///< 0: full causal; >0: sliding window (§3.1)
+};
+
+class TransformerBlock {
+ public:
+  TransformerBlock() = default;
+  TransformerBlock(const TinyGptConfig& cfg, Rng& rng, const std::string& name);
+  Tensor forward(const Tensor& x) const;
+  void collect(std::vector<Param>& out) const;
+
+ private:
+  TinyGptConfig cfg_;
+  LayerNorm ln1_, ln2_;  // ln2 unused in the parallel block
+  Linear qkv_, proj_;
+  Linear fc1_, fc2_;
+};
+
+class TinyGpt {
+ public:
+  TinyGpt(const TinyGptConfig& cfg, Rng& rng);
+
+  const TinyGptConfig& config() const { return cfg_; }
+
+  /// Logits [T, vocab] for one sequence of token ids.
+  Tensor forward(const std::vector<int>& tokens) const;
+
+  /// Mean next-token cross entropy over the sequence.
+  Tensor loss(const std::vector<int>& tokens) const;
+
+  /// All trainable parameters (stable order).
+  std::vector<Param> parameters() const;
+  std::int64_t parameter_count() const;
+
+ private:
+  TinyGptConfig cfg_;
+  Tensor embedding_;  // [vocab, hidden]
+  Tensor pos_embedding_;  // [seq_len, hidden]
+  std::vector<TransformerBlock> blocks_;
+  LayerNorm final_ln_;
+  Linear head_;
+};
+
+}  // namespace ms::optim

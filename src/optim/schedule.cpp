@@ -1,0 +1,88 @@
+#include "optim/schedule.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ms::optim {
+
+float LrSchedule::at(int step) const {
+  assert(step >= 0);
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return base_lr * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps);
+  }
+  if (step >= total_steps) return min_lr;
+  const float progress =
+      static_cast<float>(step - warmup_steps) /
+      static_cast<float>(std::max(1, total_steps - warmup_steps));
+  const float cosine = 0.5f * (1.0f + std::cos(3.14159265358979f * progress));
+  return min_lr + (base_lr - min_lr) * cosine;
+}
+
+float clip_grad_norm(std::vector<Param>& params, float max_norm) {
+  assert(max_norm > 0);
+  double total_sq = 0.0;
+  for (auto& p : params) {
+    const float* g = p.tensor.grad();
+    const std::int64_t n = p.tensor.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      total_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params) {
+      float* g = p.tensor.grad();
+      const std::int64_t n = p.tensor.numel();
+      for (std::int64_t i = 0; i < n; ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+DynamicLossScaler::DynamicLossScaler(float initial_scale, int growth_interval,
+                                     float min_scale, float max_scale)
+    : scale_(initial_scale),
+      growth_interval_(growth_interval),
+      min_scale_(min_scale),
+      max_scale_(max_scale) {
+  assert(initial_scale > 0 && growth_interval > 0);
+}
+
+bool DynamicLossScaler::gradients_overflowed(const std::vector<Param>& params) {
+  for (const auto& p : params) {
+    auto& tensor = const_cast<Tensor&>(p.tensor);
+    const float* g = tensor.grad();
+    const std::int64_t n = tensor.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (!std::isfinite(g[i])) return true;
+    }
+  }
+  return false;
+}
+
+void DynamicLossScaler::unscale(std::vector<Param>& params) const {
+  const float inv = 1.0f / scale_;
+  for (auto& p : params) {
+    float* g = p.tensor.grad();
+    const std::int64_t n = p.tensor.numel();
+    for (std::int64_t i = 0; i < n; ++i) g[i] *= inv;
+  }
+}
+
+bool DynamicLossScaler::update(bool overflow) {
+  if (overflow) {
+    scale_ = std::max(min_scale_, scale_ * 0.5f);
+    clean_steps_ = 0;
+    ++skipped_;
+    return false;
+  }
+  if (++clean_steps_ >= growth_interval_) {
+    scale_ = std::min(max_scale_, scale_ * 2.0f);
+    clean_steps_ = 0;
+  }
+  return true;
+}
+
+}  // namespace ms::optim

@@ -1,0 +1,61 @@
+// Learning-rate schedules and gradient clipping — the remaining pieces of
+// a production LLM training loop (the paper's runs use warmup + decay and
+// global-norm clipping, standard for Megatron-style pretraining).
+#pragma once
+
+#include <vector>
+
+#include "optim/nn.h"
+
+namespace ms::optim {
+
+/// Linear warmup to `base_lr`, then cosine decay to `min_lr` over the
+/// remaining steps. Steps beyond `total_steps` hold `min_lr`.
+struct LrSchedule {
+  float base_lr = 1e-3f;
+  float min_lr = 1e-4f;
+  int warmup_steps = 100;
+  int total_steps = 1000;
+
+  float at(int step) const;
+};
+
+/// Clips all gradients to a global L2 norm of at most `max_norm` (in
+/// place). Returns the pre-clip global norm.
+float clip_grad_norm(std::vector<Param>& params, float max_norm);
+
+/// Dynamic loss scaling for mixed-precision training (Micikevicius et
+/// al.'18, cited by the paper's related work): the loss is multiplied by
+/// `scale()` before backward so small gradients survive reduced precision;
+/// on overflow (inf/NaN gradients) the step is skipped and the scale
+/// halves; after `growth_interval` clean steps it doubles back.
+class DynamicLossScaler {
+ public:
+  explicit DynamicLossScaler(float initial_scale = 65536.0f,
+                             int growth_interval = 200,
+                             float min_scale = 1.0f, float max_scale = 1e7f);
+
+  float scale() const { return scale_; }
+
+  /// True if any gradient is non-finite (the overflow check).
+  static bool gradients_overflowed(const std::vector<Param>& params);
+
+  /// Unscales gradients in place (divide by scale). Call before the
+  /// optimizer step on a clean iteration.
+  void unscale(std::vector<Param>& params) const;
+
+  /// Advances the state machine; returns true if the step should proceed
+  /// (no overflow) or false if it must be skipped.
+  bool update(bool overflow);
+
+  int steps_skipped() const { return skipped_; }
+
+ private:
+  float scale_;
+  int growth_interval_;
+  float min_scale_, max_scale_;
+  int clean_steps_ = 0;
+  int skipped_ = 0;
+};
+
+}  // namespace ms::optim

@@ -1,0 +1,41 @@
+// Communication/computation overlap planners (MegaScale §3.2, Figure 3).
+//
+// The TP/SP technique: fuse the all-gather / reduce-scatter with the FFN
+// GEMMs by breaking the GEMM into chunks and pipelining chunk compute with
+// chunk communication. For two resources (compute stream, comm stream) and
+// k chunks, the classic pipelining bound applies:
+//     total = max(C, M) + min(C, M) / k
+// where C is the full compute time and M the full communication time. The
+// closed form is exact for equal-sized chunks and is validated against the
+// event-driven GraphExecutor in tests.
+#pragma once
+
+#include <algorithm>
+
+#include "core/time.h"
+
+namespace ms::parallel {
+
+struct ChunkedOverlapResult {
+  TimeNs total = 0;
+  /// Extra time beyond pure compute — what the fusion failed to hide.
+  TimeNs exposed_comm = 0;
+};
+
+inline ChunkedOverlapResult chunked_overlap(TimeNs compute, TimeNs comm,
+                                            int chunks) {
+  ChunkedOverlapResult r;
+  if (chunks <= 1) {
+    r.total = compute + comm;
+    r.exposed_comm = comm;
+    return r;
+  }
+  const TimeNs longer = std::max(compute, comm);
+  const TimeNs shorter = std::min(compute, comm);
+  r.total = longer + shorter / chunks;
+  r.exposed_comm = r.total - compute;
+  if (r.exposed_comm < 0) r.exposed_comm = 0;
+  return r;
+}
+
+}  // namespace ms::parallel

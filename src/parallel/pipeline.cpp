@@ -1,0 +1,104 @@
+#include "parallel/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ms::parallel {
+
+namespace {
+
+/// Chunk executed by the k-th forward (or backward) slot on any stage.
+int slot_chunk(int k, int pp, int vpp, bool forward) {
+  const int in_group = k % (pp * vpp);
+  const int chunk = in_group / pp;
+  return forward ? chunk : vpp - 1 - chunk;
+}
+
+/// Global microbatch index of the k-th forward (or backward) slot.
+int slot_microbatch(int k, int pp, int vpp) {
+  return (k % pp) + pp * (k / (pp * vpp));
+}
+
+}  // namespace
+
+int warmup_slots(int pp, int stage, int vpp, int microbatches) {
+  assert(pp >= 1 && stage >= 0 && stage < pp && vpp >= 1);
+  const int total = microbatches * vpp;
+  if (pp == 1) return std::min(total, vpp == 1 ? 0 : pp * (vpp - 1));
+  int warmup;
+  if (vpp == 1) {
+    warmup = pp - stage - 1;  // classic 1F1B
+  } else {
+    warmup = (pp - stage - 1) * 2 + (vpp - 1) * pp;
+  }
+  return std::min(warmup, total);
+}
+
+std::vector<ScheduleEntry> schedule_for_stage(int pp, int stage, int vpp,
+                                              int microbatches) {
+  assert(pp >= 1 && stage >= 0 && stage < pp);
+  assert(vpp >= 1 && microbatches >= 1);
+  assert((vpp == 1 || microbatches % pp == 0) &&
+         "interleaved schedule requires microbatches % pp == 0");
+
+  const int total = microbatches * vpp;
+  const int warmup = warmup_slots(pp, stage, vpp, microbatches);
+
+  std::vector<ScheduleEntry> schedule;
+  schedule.reserve(static_cast<std::size_t>(2 * total));
+
+  auto fwd = [&](int k) {
+    schedule.push_back({PassType::kForward, slot_chunk(k, pp, vpp, true),
+                        slot_microbatch(k, pp, vpp)});
+  };
+  auto bwd = [&](int k) {
+    schedule.push_back({PassType::kBackward, slot_chunk(k, pp, vpp, false),
+                        slot_microbatch(k, pp, vpp)});
+  };
+
+  for (int k = 0; k < warmup; ++k) fwd(k);
+  for (int k = 0; k < total - warmup; ++k) {
+    fwd(warmup + k);
+    bwd(k);
+  }
+  for (int k = total - warmup; k < total; ++k) bwd(k);
+  return schedule;
+}
+
+std::vector<ScheduleEntry> gpipe_schedule_for_stage(int pp, int stage,
+                                                    int microbatches) {
+  assert(pp >= 1 && stage >= 0 && stage < pp && microbatches >= 1);
+  (void)pp;
+  (void)stage;
+  std::vector<ScheduleEntry> schedule;
+  schedule.reserve(static_cast<std::size_t>(2 * microbatches));
+  for (int m = 0; m < microbatches; ++m) {
+    schedule.push_back({PassType::kForward, 0, m});
+  }
+  // Backward drains in reverse order (last-forward, first-backward matches
+  // the dependency structure: the flush starts from the freshest batch).
+  for (int m = microbatches - 1; m >= 0; --m) {
+    schedule.push_back({PassType::kBackward, 0, m});
+  }
+  return schedule;
+}
+
+int peak_inflight_microbatches(const std::vector<ScheduleEntry>& schedule) {
+  int alive = 0, peak = 0;
+  for (const auto& e : schedule) {
+    if (e.pass == PassType::kForward) {
+      peak = std::max(peak, ++alive);
+    } else {
+      --alive;
+    }
+  }
+  return peak;
+}
+
+double analytic_bubble_fraction(int pp, int vpp, int microbatches) {
+  assert(pp >= 1 && vpp >= 1 && microbatches >= 1);
+  return static_cast<double>(pp - 1) /
+         (static_cast<double>(vpp) * microbatches);
+}
+
+}  // namespace ms::parallel

@@ -1,0 +1,50 @@
+// Interleaved 1F1B pipeline schedule (MegaScale §2, Figure 2).
+//
+// Faithful reimplementation of Megatron-LM's
+// forward_backward_pipelining_with_interleaving slot ordering: each worker
+// runs `vpp` model chunks; microbatches are issued in groups of `pp`; after
+// a warm-up of forward passes the worker alternates one-forward-one-backward
+// and finally drains the remaining backwards (cool-down).
+#pragma once
+
+#include <vector>
+
+namespace ms::parallel {
+
+enum class PassType { kForward, kBackward };
+
+struct ScheduleEntry {
+  PassType pass = PassType::kForward;
+  int chunk = 0;       // virtual stage (model chunk) on this worker
+  int microbatch = 0;  // global microbatch index
+  bool operator==(const ScheduleEntry&) const = default;
+};
+
+/// Execution order for pipeline stage `stage` (0-based) with `pp` stages,
+/// `vpp` virtual stages per worker and `microbatches` microbatches.
+/// For vpp > 1, `microbatches` must be divisible by `pp` (Megatron's
+/// constraint for the interleaved schedule).
+std::vector<ScheduleEntry> schedule_for_stage(int pp, int stage, int vpp,
+                                              int microbatches);
+
+/// GPipe schedule (§2): all forward passes, then all backward passes.
+/// Same bubble fraction as 1F1B but every microbatch's activations stay
+/// alive through the forward phase — the memory blow-up 1F1B exists to
+/// avoid (see model/memory.h). vpp is always 1 under GPipe.
+std::vector<ScheduleEntry> gpipe_schedule_for_stage(int pp, int stage,
+                                                    int microbatches);
+
+/// Activation lifetime: the maximum number of microbatches whose forward
+/// activations are simultaneously alive on `stage` under a schedule
+/// (a forward allocates, the matching backward frees).
+int peak_inflight_microbatches(const std::vector<ScheduleEntry>& schedule);
+
+/// Number of warm-up forward passes before the 1F1B steady phase.
+int warmup_slots(int pp, int stage, int vpp, int microbatches);
+
+/// Analytic bubble fraction of the interleaved schedule:
+/// (pp - 1) / (vpp * microbatches) — the quantity §3.1 manipulates with the
+/// LAMB optimizer (4x batch => 4x microbatches => 1/4 the bubble).
+double analytic_bubble_fraction(int pp, int vpp, int microbatches);
+
+}  // namespace ms::parallel

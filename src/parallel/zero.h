@@ -1,0 +1,63 @@
+// ZeRO stage-2 sharding arithmetic (MegaScale §2, Figure 1).
+//
+// With ZeRO-2, optimizer states and gradients are sharded across the data-
+// parallel group; the traditional gradient all-reduce decomposes into a
+// reduce-scatter (backward) and a parameter all-gather (next forward) of
+// the same volume — no extra communication, but both halves become
+// schedulable and therefore overlappable (§3.2).
+#pragma once
+
+#include "core/units.h"
+#include "parallel/mapping.h"
+
+namespace ms::parallel {
+
+class Zero2Sharding {
+ public:
+  Zero2Sharding(double model_params, const ParallelConfig& cfg)
+      : model_params_(model_params), cfg_(cfg) {}
+
+  /// Parameters materialized on one GPU (its pipeline chunk, TP-split).
+  double params_per_gpu() const {
+    return model_params_ / (static_cast<double>(cfg_.tp) * cfg_.pp);
+  }
+
+  /// Parameters of one model chunk (virtual stage) on one GPU.
+  double params_per_chunk() const {
+    return params_per_gpu() / cfg_.vpp;
+  }
+
+  /// Optimizer-state shard per GPU: ZeRO-2 further splits across DP.
+  double optimizer_shard_params() const {
+    return params_per_gpu() / cfg_.dp;
+  }
+
+  /// DP all-gather payload for one model chunk (bf16 parameters). This is
+  /// the total gathered size; the ring cost model takes it as `bytes`.
+  Bytes allgather_bytes_per_chunk() const {
+    return static_cast<Bytes>(params_per_chunk() * 2.0);
+  }
+
+  /// DP reduce-scatter payload for one chunk's gradients (bf16).
+  Bytes reducescatter_bytes_per_chunk() const {
+    return static_cast<Bytes>(params_per_chunk() * 2.0);
+  }
+
+  /// Bytes of optimizer state per GPU (fp32 master + two Adam moments +
+  /// fp32 grad accumulation ~ 16 bytes/param on the shard).
+  Bytes optimizer_state_bytes() const {
+    return static_cast<Bytes>(optimizer_shard_params() * 16.0);
+  }
+
+  /// Checkpoint payload per GPU: bf16 params of its chunk(s) + its
+  /// optimizer shard.
+  Bytes checkpoint_bytes_per_gpu() const {
+    return static_cast<Bytes>(params_per_gpu() * 2.0) + optimizer_state_bytes();
+  }
+
+ private:
+  double model_params_;
+  ParallelConfig cfg_;
+};
+
+}  // namespace ms::parallel

@@ -1,0 +1,87 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ms::sim {
+
+EventId Engine::at(TimeNs t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+EventId Engine::after(TimeNs delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return at(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_;
+  return true;
+}
+
+bool Engine::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (callbacks_.count(e.id)) {
+      out = e;
+      return true;
+    }
+    // tombstoned (cancelled) — skip
+  }
+  return false;
+}
+
+bool Engine::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.t;
+  auto it = callbacks_.find(e.id);
+  // pop_next guaranteed presence; move the callback out before invoking so
+  // the callback may freely schedule/cancel.
+  std::function<void()> fn = std::move(it->second);
+  callbacks_.erase(it);
+  --live_;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Engine::run_until(TimeNs t) {
+  stopped_ = false;
+  Entry e;
+  while (!stopped_) {
+    if (queue_.empty()) break;
+    // Peek: find next live entry without consuming permanently.
+    if (!pop_next(e)) break;
+    if (e.t > t) {
+      // Push it back; it stays pending.
+      queue_.push(e);
+      break;
+    }
+    now_ = e.t;
+    auto it = callbacks_.find(e.id);
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_;
+    ++executed_;
+    fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulation engine.
+//
+// Deterministic: events at the same timestamp execute in schedule order
+// (FIFO within a timestamp), so runs are reproducible regardless of the
+// underlying priority-queue implementation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/time.h"
+
+namespace ms::sim {
+
+/// Handle returned by schedule(); can cancel the event before it fires.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  TimeNs now() const { return now_; }
+
+  /// Schedules fn at absolute time t (must be >= now()).
+  EventId at(TimeNs t, std::function<void()> fn);
+
+  /// Schedules fn after a relative delay (clamped to >= 0).
+  EventId after(TimeNs delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already fired / was
+  /// cancelled. Cancellation is O(1): the slot is tombstoned.
+  bool cancel(EventId id);
+
+  /// Runs until the queue is drained or stop() is called.
+  void run();
+
+  /// Runs events with time <= t, then sets now() = t.
+  void run_until(TimeNs t);
+
+  /// Executes the single next event. Returns false if queue empty.
+  bool step();
+
+  /// Requests run()/run_until() to return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (cancelled events excluded).
+  std::uint64_t executed() const { return executed_; }
+
+  /// Number of events currently pending (tombstones excluded).
+  std::size_t pending() const { return live_; }
+
+ private:
+  struct Entry {
+    TimeNs t;
+    EventId id;  // also the FIFO tiebreaker
+    bool operator>(const Entry& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  // id -> callback; erased on fire/cancel. Engine overhead is not the
+  // bottleneck in our experiments, so std::unordered_map is fine here.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,110 @@
+#include "sim/graph.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ms::sim {
+
+GraphExecutor::GraphExecutor(std::size_t max_streams) {
+  streams_.resize(max_streams);
+}
+
+StreamId GraphExecutor::add_stream() {
+  streams_.emplace_back();
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+OpId GraphExecutor::add_op(OpSpec spec) {
+  assert(!ran_ && "graph already executed");
+  assert(spec.stream >= 0 &&
+         static_cast<std::size_t>(spec.stream) < streams_.size());
+  const OpId id = static_cast<OpId>(specs_.size());
+  OpRecord rec;
+  rec.id = id;
+  rec.name = spec.name;
+  rec.tag = spec.tag;
+  rec.stream = spec.stream;
+  records_.push_back(std::move(rec));
+  specs_.push_back(std::move(spec));
+  dependents_.emplace_back();
+  indegree_.push_back(0);
+  return id;
+}
+
+void GraphExecutor::add_dep(OpId before, OpId after) {
+  assert(before >= 0 && static_cast<std::size_t>(before) < specs_.size());
+  assert(after >= 0 && static_cast<std::size_t>(after) < specs_.size());
+  assert(before != after);
+  dependents_[static_cast<std::size_t>(before)].push_back(after);
+  ++indegree_[static_cast<std::size_t>(after)];
+}
+
+TimeNs GraphExecutor::run(Engine& engine) {
+  if (ran_) throw std::logic_error("GraphExecutor::run called twice");
+  ran_ = true;
+  start_time_ = engine.now();
+  finish_time_ = start_time_;
+  remaining_ = specs_.size();
+  if (remaining_ == 0) return 0;
+
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (indegree_[i] == 0) on_ready(engine, static_cast<OpId>(i));
+  }
+  engine.run();
+  if (remaining_ != 0) {
+    throw std::logic_error(
+        "GraphExecutor: deadlock — dependency cycle or ops never became "
+        "ready");
+  }
+  return finish_time_ - start_time_;
+}
+
+void GraphExecutor::on_ready(Engine& engine, OpId id) {
+  const auto& spec = specs_[static_cast<std::size_t>(id)];
+  auto& stream = streams_[static_cast<std::size_t>(spec.stream)];
+  stream.ready.push(ReadyEntry{spec.priority, id});
+  // Defer the issue decision to the end of the current timestamp so that all
+  // ops becoming ready "simultaneously" are in the queue before the stream
+  // picks by priority.
+  const StreamId sid = spec.stream;
+  engine.after(0, [this, &engine, sid] { try_issue(engine, sid); });
+}
+
+void GraphExecutor::try_issue(Engine& engine, StreamId s) {
+  auto& stream = streams_[static_cast<std::size_t>(s)];
+  if (stream.busy_now || stream.ready.empty()) return;
+  const OpId id = stream.ready.top().id;
+  stream.ready.pop();
+  stream.busy_now = true;
+
+  auto& spec = specs_[static_cast<std::size_t>(id)];
+  auto& rec = records_[static_cast<std::size_t>(id)];
+  rec.start = engine.now();
+  const TimeNs dur =
+      spec.duration_fn ? spec.duration_fn(rec.start) : spec.duration;
+  assert(dur >= 0);
+  engine.after(dur, [this, &engine, id] { on_op_finished(engine, id); });
+}
+
+void GraphExecutor::on_op_finished(Engine& engine, OpId id) {
+  auto& spec = specs_[static_cast<std::size_t>(id)];
+  auto& rec = records_[static_cast<std::size_t>(id)];
+  rec.end = engine.now();
+  finish_time_ = std::max(finish_time_, rec.end);
+
+  auto& stream = streams_[static_cast<std::size_t>(spec.stream)];
+  stream.busy_now = false;
+  stream.busy += rec.end - rec.start;
+
+  if (spec.on_finish) spec.on_finish(rec.start, rec.end);
+
+  for (OpId dep : dependents_[static_cast<std::size_t>(id)]) {
+    if (--indegree_[static_cast<std::size_t>(dep)] == 0) {
+      on_ready(engine, dep);
+    }
+  }
+  --remaining_;
+  try_issue(engine, spec.stream);
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,111 @@
+// Dependency-graph executor on top of the event engine.
+//
+// Models a set of hardware queues ("streams", in the CUDA sense): each
+// stream executes at most one operation at a time; an operation starts when
+// all of its dependencies have finished and its stream is free. This is the
+// substrate on which training iterations are simulated — compute kernels go
+// on a compute stream, collectives on communication streams, and the overlap
+// techniques of MegaScale §3.2 manifest as graph/stream structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "sim/engine.h"
+
+namespace ms::sim {
+
+using OpId = std::int32_t;
+using StreamId = std::int32_t;
+
+constexpr OpId kInvalidOp = -1;
+
+struct OpSpec {
+  std::string name;
+  StreamId stream = 0;
+  TimeNs duration = 0;
+  /// Higher priority ops are issued first when several are ready on the same
+  /// stream (MegaScale launches high-priority communication first, §3.2).
+  int priority = 0;
+  /// Optional dynamic duration: called at start time; overrides `duration`.
+  /// Used for perturbation injection (GC pauses, stragglers).
+  std::function<TimeNs(TimeNs start)> duration_fn;
+  /// Optional completion hook.
+  std::function<void(TimeNs start, TimeNs end)> on_finish;
+  /// Free-form tag for span analysis (e.g. "fwd", "bwd", "dp-comm").
+  std::string tag;
+};
+
+/// Execution record for one op — the raw material for the §5 diagnosis
+/// tools (heat maps, timelines).
+struct OpRecord {
+  OpId id = kInvalidOp;
+  std::string name;
+  std::string tag;
+  StreamId stream = 0;
+  TimeNs start = -1;
+  TimeNs end = -1;
+  bool done() const { return end >= 0; }
+};
+
+class GraphExecutor {
+ public:
+  /// Streams are created lazily: any StreamId in [0, max_streams) is valid.
+  explicit GraphExecutor(std::size_t max_streams = 64);
+
+  StreamId add_stream();  // returns a fresh stream id
+  std::size_t stream_count() const { return streams_.size(); }
+
+  OpId add_op(OpSpec spec);
+
+  /// Declares that `after` cannot start before `before` has finished.
+  void add_dep(OpId before, OpId after);
+
+  /// Runs the whole graph to completion on `engine`. May be called once.
+  /// Returns the makespan (time from engine.now() at call to last finish).
+  TimeNs run(Engine& engine);
+
+  const std::vector<OpRecord>& records() const { return records_; }
+  const OpRecord& record(OpId id) const { return records_[static_cast<std::size_t>(id)]; }
+
+  /// Total busy time per stream (for utilization analysis).
+  TimeNs stream_busy(StreamId s) const { return streams_[static_cast<std::size_t>(s)].busy; }
+
+  std::size_t op_count() const { return specs_.size(); }
+
+ private:
+  struct ReadyEntry {
+    int priority;
+    OpId id;
+    // max-heap on priority, FIFO (min id) within a priority level
+    bool operator<(const ReadyEntry& o) const {
+      return priority != o.priority ? priority < o.priority : id > o.id;
+    }
+  };
+  struct StreamState {
+    bool busy_now = false;
+    TimeNs busy = 0;
+    std::priority_queue<ReadyEntry> ready;
+  };
+
+  void on_ready(Engine& engine, OpId id);
+  void try_issue(Engine& engine, StreamId s);
+  void on_op_finished(Engine& engine, OpId id);
+
+  std::vector<OpSpec> specs_;
+  std::vector<OpRecord> records_;
+  std::vector<std::vector<OpId>> dependents_;
+  std::vector<int> indegree_;
+  std::vector<StreamState> streams_;
+  TimeNs start_time_ = 0;
+  TimeNs finish_time_ = 0;
+  std::size_t remaining_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace ms::sim

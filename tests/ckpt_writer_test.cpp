@@ -1,0 +1,101 @@
+// Tests for the two-stage checkpoint writer (real threads, §4.4).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "ft/ckpt_writer.h"
+
+namespace ms::ft {
+namespace {
+
+TEST(CkptWriter, AllSnapshotsReachSinkInOrder) {
+  std::vector<std::int64_t> steps;
+  std::mutex mu;
+  {
+    TwoStageCheckpointWriter writer([&](const Snapshot& s) {
+      std::lock_guard<std::mutex> lock(mu);
+      steps.push_back(s.step);
+    });
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(writer.snapshot(i, std::vector<float>(128, static_cast<float>(i))));
+    }
+    writer.flush();
+    EXPECT_EQ(writer.snapshots_persisted(), 20);
+  }
+  ASSERT_EQ(steps.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(steps[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CkptWriter, SnapshotDataIntact) {
+  Snapshot received;
+  {
+    TwoStageCheckpointWriter writer([&](const Snapshot& s) { received = s; });
+    std::vector<float> state{1.5f, -2.5f, 3.25f};
+    ASSERT_TRUE(writer.snapshot(7, state));
+    writer.flush();
+  }
+  EXPECT_EQ(received.step, 7);
+  EXPECT_EQ(received.state, (std::vector<float>{1.5f, -2.5f, 3.25f}));
+}
+
+TEST(CkptWriter, SnapshotIsFastWhileFlushIsSlow) {
+  // The point of two-stage checkpointing: the training thread's stall is
+  // the staging copy, not the slow sink write.
+  TwoStageCheckpointWriter writer(
+      [](const Snapshot&) {}, /*max_staged=*/4,
+      /*sink_delay_per_mb=*/std::chrono::microseconds(5000));
+  std::vector<float> state(256 * 1024, 1.0f);  // 1 MB
+
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(writer.snapshot(0, state));
+  const auto staged = std::chrono::steady_clock::now();
+  writer.flush();
+  const auto flushed = std::chrono::steady_clock::now();
+
+  const auto stage_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(staged - start);
+  const auto flush_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(flushed - staged);
+  EXPECT_LT(stage_us.count() * 2, flush_us.count());
+}
+
+TEST(CkptWriter, BackpressureWhenFlusherBehind) {
+  std::atomic<int> persisted{0};
+  TwoStageCheckpointWriter writer(
+      [&](const Snapshot&) { persisted.fetch_add(1); }, /*max_staged=*/1,
+      std::chrono::microseconds(20000));
+  std::vector<float> state(64, 0.0f);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(writer.snapshot(0, state));  // staged instantly
+  ASSERT_TRUE(writer.snapshot(1, state));  // must wait for slot
+  const auto blocked_us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  // The second snapshot had to wait roughly one sink write.
+  EXPECT_GT(blocked_us.count(), 5000);
+  writer.flush();
+  EXPECT_EQ(persisted.load(), 2);
+}
+
+TEST(CkptWriter, SnapshotAfterCloseFails) {
+  TwoStageCheckpointWriter writer([](const Snapshot&) {});
+  writer.close();
+  EXPECT_FALSE(writer.snapshot(0, {1.0f}));
+}
+
+TEST(CkptWriter, CloseFlushesOutstanding) {
+  std::atomic<int> persisted{0};
+  {
+    TwoStageCheckpointWriter writer(
+        [&](const Snapshot&) { persisted.fetch_add(1); }, 8,
+        std::chrono::microseconds(1000));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(writer.snapshot(i, std::vector<float>(64, 0.0f)));
+    }
+    writer.close();  // must drain before returning
+  }
+  EXPECT_EQ(persisted.load(), 5);
+}
+
+}  // namespace
+}  // namespace ms::ft

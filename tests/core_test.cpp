@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "core/time.h"
+#include "core/units.h"
+
+namespace ms {
+namespace {
+
+// ---------------------------------------------------------------- time
+
+TEST(Time, UnitConversionsRoundTrip) {
+  EXPECT_EQ(seconds(1.0), kNsPerSec);
+  EXPECT_EQ(milliseconds(1.0), kNsPerMs);
+  EXPECT_EQ(microseconds(1.0), kNsPerUs);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(42.0)), 42.0);
+  EXPECT_DOUBLE_EQ(to_hours(hours(3.0)), 3.0);
+  EXPECT_DOUBLE_EQ(to_days(days(1.5)), 1.5);
+}
+
+TEST(Time, MinutesAndHoursCompose) {
+  EXPECT_EQ(minutes(1.0), seconds(60.0));
+  EXPECT_EQ(hours(1.0), minutes(60.0));
+  EXPECT_EQ(days(1.0), hours(24.0));
+}
+
+TEST(Time, FormatDurationPicksUnit) {
+  EXPECT_EQ(format_duration(nanoseconds(5)), "5ns");
+  EXPECT_EQ(format_duration(microseconds(12.0)), "12.000us");
+  EXPECT_EQ(format_duration(milliseconds(3.5)), "3.500ms");
+  EXPECT_EQ(format_duration(seconds(1.25)), "1.250s");
+  EXPECT_EQ(format_duration(minutes(2.0)), "2.00min");
+  EXPECT_EQ(format_duration(hours(5.0)), "5.00h");
+}
+
+TEST(Time, FormatNegativeDuration) {
+  EXPECT_EQ(format_duration(-seconds(1.5)), "-1.500s");
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(Units, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(gbps(400.0), 50e9);  // 400 Gb/s == 50 GB/s
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(200.0)), 200.0);
+  EXPECT_DOUBLE_EQ(to_gBps(gBps(25.0)), 25.0);
+}
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024);
+  EXPECT_EQ(1_MiB, 1024 * 1024);
+  EXPECT_EQ(2_GiB, 2LL << 30);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng r(11);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.add(r.normal(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  RunningStat s;
+  for (int i = 0; i < 200000; ++i) s.add(r.exponential(5.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(23);
+  auto idx = r.sample_without_replacement(100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (auto i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleAllIsPermutation) {
+  Rng r(29);
+  auto idx = r.sample_without_replacement(10, 10);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // Child stream should not mirror parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng r(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsCombined) {
+  Rng r(43);
+  RunningStat a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.normal();
+    if (i % 2) {
+      a.add(v);
+    } else {
+      b.add(v);
+    }
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  RunningStat s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentiles, QuantilesOfKnownSet) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_NEAR(p.median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(p.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(p.p99(), 99.01, 1e-9);
+}
+
+TEST(Percentiles, InterleavedAddAndQuery) {
+  Percentiles p;
+  p.add(3.0);
+  p.add(1.0);
+  EXPECT_NEAR(p.median(), 2.0, 1e-9);
+  p.add(2.0);
+  EXPECT_NEAR(p.median(), 2.0, 1e-9);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  h.add(-1.0);
+  h.add(11.0);
+  EXPECT_EQ(h.total(), 12u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucket(i), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 4.0);
+}
+
+TEST(Histogram, AsciiRenders) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Series, TailMean) {
+  Series s;
+  for (int i = 0; i < 10; ++i) s.add(i, i);
+  EXPECT_DOUBLE_EQ(s.tail_mean(2), 8.5);
+  EXPECT_DOUBLE_EQ(s.tail_mean(100), 4.5);  // clamped to size
+}
+
+TEST(Series, AsciiChartContainsGlyphs) {
+  Series s1, s2;
+  s1.name = "a";
+  s2.name = "b";
+  for (int i = 0; i < 20; ++i) {
+    s1.add(i, std::sin(i * 0.3));
+    s2.add(i, std::cos(i * 0.3));
+  }
+  const std::string chart = ascii_chart({s1, s2});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("a"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha |"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  // Every line has equal width.
+  std::size_t width = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_int(1234), "1234");
+  EXPECT_EQ(Table::fmt_pct(0.552), "55.2%");
+}
+
+}  // namespace
+}  // namespace ms

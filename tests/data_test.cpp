@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "data/pipeline.h"
+#include "data/shm.h"
+
+namespace ms::data {
+namespace {
+
+// --------------------------------------------------------- pipeline model
+
+DataPipelineConfig stock() {
+  DataPipelineConfig cfg;
+  cfg.redundant_loaders = true;
+  cfg.async_preprocessing = false;
+  return cfg;
+}
+
+DataPipelineConfig megascale() {
+  DataPipelineConfig cfg;
+  cfg.redundant_loaders = false;
+  cfg.async_preprocessing = true;
+  return cfg;
+}
+
+TEST(Pipeline, RedundantLoadersMultiplyDiskTraffic) {
+  const auto slow = data_step_cost(stock());
+  const auto fast = data_step_cost(megascale());
+  // 8 workers re-reading identical bytes: ~8x disk time.
+  const double ratio = static_cast<double>(slow.disk_read) /
+                       static_cast<double>(fast.disk_read);
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Pipeline, TreeLoadingPaysShmCopy) {
+  const auto fast = data_step_cost(megascale());
+  EXPECT_GT(fast.shm_copy, 0);
+  const auto slow = data_step_cost(stock());
+  EXPECT_EQ(slow.shm_copy, 0);
+}
+
+TEST(Pipeline, AsyncPreprocessingLeavesCriticalPath) {
+  auto cfg = stock();
+  const auto sync_cost = data_step_cost(cfg);
+  cfg.async_preprocessing = true;
+  const auto async_cost = data_step_cost(cfg);
+  EXPECT_EQ(sync_cost.exposed - async_cost.exposed, sync_cost.preprocess);
+  EXPECT_EQ(async_cost.preprocess, sync_cost.preprocess);  // still happens
+}
+
+TEST(Pipeline, FullOptimizationDramaticallyShrinksExposedTime) {
+  const auto slow = data_step_cost(stock());
+  const auto fast = data_step_cost(megascale());
+  EXPECT_LT(fast.exposed * 4, slow.exposed);
+}
+
+TEST(Pipeline, CostsScaleWithSamples) {
+  auto cfg = megascale();
+  const auto small = data_step_cost(cfg);
+  cfg.samples_per_step *= 4;
+  const auto large = data_step_cost(cfg);
+  EXPECT_GT(large.disk_read, 3 * small.disk_read);
+}
+
+TEST(Pipeline, MoreCpuWorkersSpeedUpPreprocess) {
+  auto cfg = stock();
+  cfg.cpu_workers = 4;
+  const auto few = data_step_cost(cfg);
+  cfg.cpu_workers = 32;
+  const auto many = data_step_cost(cfg);
+  EXPECT_LT(many.preprocess, few.preprocess);
+}
+
+// --------------------------------------------------------------- shm real
+
+TEST(Shm, AllConsumersReceiveIdenticalBatch) {
+  constexpr int kConsumers = 8;
+  ShmBroadcastBuffer buffer(kConsumers);
+  const std::vector<std::uint8_t> batch{1, 2, 3, 4, 5};
+
+  std::vector<std::thread> consumers;
+  std::atomic<int> matches{0};
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      if (buffer.fetch(0) == batch) matches.fetch_add(1);
+    });
+  }
+  EXPECT_TRUE(buffer.publish(batch));
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(matches.load(), kConsumers);
+}
+
+TEST(Shm, GenerationsDeliveredInOrder) {
+  constexpr int kConsumers = 4, kBatches = 20;
+  ShmBroadcastBuffer buffer(kConsumers);
+
+  std::vector<std::thread> consumers;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (int g = 0; g < kBatches; ++g) {
+        auto batch = buffer.fetch(g);
+        if (batch.size() != 1 || batch[0] != static_cast<std::uint8_t>(g)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int g = 0; g < kBatches; ++g) {
+    ASSERT_TRUE(buffer.publish({static_cast<std::uint8_t>(g)}));
+  }
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(buffer.published(), kBatches);
+}
+
+TEST(Shm, ProducerRunsAheadByDoubleBuffering) {
+  // With 2 slots and no consumer, exactly 2 publishes must succeed without
+  // blocking; verify by publishing from a thread and checking progress.
+  ShmBroadcastBuffer buffer(1, 2);
+  EXPECT_TRUE(buffer.publish({0}));
+  EXPECT_TRUE(buffer.publish({1}));
+  EXPECT_EQ(buffer.published(), 2);
+  // Third publish must block until a consumer frees a slot.
+  std::atomic<bool> third_done{false};
+  std::thread producer([&] {
+    buffer.publish({2});
+    third_done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_done.load());
+  EXPECT_EQ(buffer.fetch(0), std::vector<std::uint8_t>{0});
+  producer.join();
+  EXPECT_TRUE(third_done.load());
+}
+
+TEST(Shm, CloseUnblocksConsumers) {
+  ShmBroadcastBuffer buffer(1);
+  std::thread consumer([&] {
+    auto batch = buffer.fetch(0);
+    EXPECT_TRUE(batch.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  buffer.close();
+  consumer.join();
+}
+
+TEST(Shm, CloseUnblocksProducer) {
+  ShmBroadcastBuffer buffer(1, 1);
+  ASSERT_TRUE(buffer.publish({0}));
+  std::thread producer([&] {
+    EXPECT_FALSE(buffer.publish({1}));  // blocked, then closed
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  buffer.close();
+  producer.join();
+}
+
+TEST(Shm, FetchAfterCloseStillServesPublishedGeneration) {
+  ShmBroadcastBuffer buffer(1, 2);
+  ASSERT_TRUE(buffer.publish({42}));
+  buffer.close();
+  EXPECT_EQ(buffer.fetch(0), std::vector<std::uint8_t>{42});
+}
+
+TEST(Shm, StressManyGenerationsManyConsumers) {
+  constexpr int kConsumers = 6, kBatches = 200;
+  ShmBroadcastBuffer buffer(kConsumers, 3);
+  std::atomic<std::int64_t> checksum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      for (int g = 0; g < kBatches; ++g) {
+        auto batch = buffer.fetch(g);
+        std::int64_t sum = 0;
+        for (auto b : batch) sum += b;
+        checksum.fetch_add(sum);
+      }
+    });
+  }
+  std::int64_t expected = 0;
+  for (int g = 0; g < kBatches; ++g) {
+    std::vector<std::uint8_t> batch(64, static_cast<std::uint8_t>(g % 251));
+    for (auto b : batch) expected += b;
+    ASSERT_TRUE(buffer.publish(std::move(batch)));
+  }
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(checksum.load(), expected * kConsumers);
+}
+
+}  // namespace
+}  // namespace ms::data

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "diag/heatmap.h"
+#include "diag/stream.h"
+#include "diag/timeline.h"
+#include "diag/viz3d.h"
+
+namespace ms::diag {
+namespace {
+
+// --------------------------------------------------------------- heatmap
+
+TEST(Heatmap, MeansPerCell) {
+  PerformanceHeatmap hm;
+  hm.add_sample(0, "fwd", 1.0);
+  hm.add_sample(0, "fwd", 3.0);
+  hm.add_sample(0, "bwd", 4.0);
+  EXPECT_DOUBLE_EQ(hm.mean(0, "fwd"), 2.0);
+  EXPECT_DOUBLE_EQ(hm.mean(0, "bwd"), 4.0);
+  EXPECT_DOUBLE_EQ(hm.mean(1, "fwd"), 0.0);
+  EXPECT_EQ(hm.machine_count(), 1);
+}
+
+TEST(Heatmap, DetectsTenPercentStraggler) {
+  // The §6.3 case: specific hosts take ~10% longer on the same forward
+  // computation.
+  PerformanceHeatmap hm;
+  for (int machine = 0; machine < 64; ++machine) {
+    const double factor = machine == 17 ? 1.10 : 1.0;
+    for (int step = 0; step < 20; ++step) {
+      hm.add_sample(machine, "fwd", 0.010 * factor);
+      hm.add_sample(machine, "bwd", 0.020 * factor);
+    }
+  }
+  const auto outliers = hm.outliers(0.05);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], 17);
+}
+
+TEST(Heatmap, NoOutliersOnUniformCluster) {
+  PerformanceHeatmap hm;
+  for (int machine = 0; machine < 16; ++machine) {
+    hm.add_sample(machine, "fwd", 0.010);
+  }
+  EXPECT_TRUE(hm.outliers(0.05).empty());
+}
+
+TEST(Heatmap, ThresholdControlsSensitivity) {
+  PerformanceHeatmap hm;
+  for (int machine = 0; machine < 16; ++machine) {
+    hm.add_sample(machine, "fwd", machine == 3 ? 0.0104 : 0.010);
+  }
+  EXPECT_TRUE(hm.outliers(0.05).empty());       // 4% < 5%
+  EXPECT_EQ(hm.outliers(0.02).size(), 1u);      // 4% > 2%
+}
+
+TEST(Heatmap, AsciiMarksStragglers) {
+  PerformanceHeatmap hm;
+  for (int machine = 0; machine < 8; ++machine) {
+    hm.add_sample(machine, "fwd", machine == 5 ? 0.012 : 0.010);
+  }
+  const std::string art = hm.ascii(0.05);
+  EXPECT_NE(art.find("STRAGGLER"), std::string::npos);
+  EXPECT_NE(art.find("fwd"), std::string::npos);
+}
+
+// -------------------------------------------------------------- timeline
+
+TEST(Timeline, RankSpansSorted) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "bwd", .tag = "bwd", .start = seconds(2.0),
+             .end = seconds(3.0)});
+  trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = seconds(1.0),
+             .end = seconds(2.0)});
+  auto spans = trace.rank_spans(0);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "fwd");
+  EXPECT_EQ(spans[1].name, "bwd");
+}
+
+TEST(Timeline, ActiveAtFindsConcurrentWork) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = 0,
+             .end = seconds(2.0)});
+  trace.add({.rank = 1, .name = "fwd", .tag = "fwd", .start = seconds(1.0),
+             .end = seconds(3.0)});
+  auto active = trace.active_at(seconds(1.5));
+  EXPECT_EQ(active.size(), 2u);
+  active = trace.active_at(seconds(2.5));
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].rank, 1);
+}
+
+TEST(Timeline, IdleTimeIsBubble) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = 0,
+             .end = seconds(1.0)});
+  trace.add({.rank = 0, .name = "bwd", .tag = "bwd", .start = seconds(3.0),
+             .end = seconds(4.0)});
+  EXPECT_EQ(trace.idle_time(0, 0, seconds(4.0)), seconds(2.0));
+}
+
+TEST(Timeline, RenderShowsLanesAndGlyphs) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = 0,
+             .end = seconds(1.0)});
+  trace.add({.rank = 1, .name = "bwd", .tag = "bwd", .start = seconds(1.0),
+             .end = seconds(2.0)});
+  const std::string art = trace.render(0, seconds(2.0), 40);
+  EXPECT_NE(art.find("rank   0"), std::string::npos);
+  EXPECT_NE(art.find('F'), std::string::npos);
+  EXPECT_NE(art.find('B'), std::string::npos);
+}
+
+// ----------------------------------------------------------------- viz3d
+
+parallel::ParallelConfig viz_cfg() {
+  return parallel::ParallelConfig{.tp = 2, .pp = 2, .dp = 2};
+}
+
+TEST(Viz3d, DescribeListsAllGroups) {
+  Parallel3DVisualizer viz(viz_cfg());
+  const std::string desc = viz.describe(0);
+  EXPECT_NE(desc.find("tensor group"), std::string::npos);
+  EXPECT_NE(desc.find("data group"), std::string::npos);
+  EXPECT_NE(desc.find("pipeline group"), std::string::npos);
+  EXPECT_NE(desc.find("send activations"), std::string::npos);
+}
+
+TEST(Viz3d, DotGraphHasEdges) {
+  Parallel3DVisualizer viz(viz_cfg());
+  const std::string dot = viz.dot_graph(0);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"tp\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"dp\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"pp\""), std::string::npos);
+}
+
+TEST(Viz3d, LocatesHungRankFromSilence) {
+  // World of 8; rank 5 hangs. Everyone else logs a blocked op.
+  Parallel3DVisualizer viz(viz_cfg());
+  std::map<int, std::string> logs;
+  for (int r = 0; r < 8; ++r) {
+    if (r != 5) logs[r] = "dp-allgather";
+  }
+  auto suspects = viz.locate_hung_ranks(logs);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], 5);
+}
+
+TEST(Viz3d, NoSuspectsWhenEveryoneLogs) {
+  Parallel3DVisualizer viz(viz_cfg());
+  std::map<int, std::string> logs;
+  for (int r = 0; r < 8; ++r) logs[r] = "pp-recv";
+  EXPECT_TRUE(viz.locate_hung_ranks(logs).empty());
+}
+
+TEST(Viz3d, MultipleHungRanksAllFound) {
+  Parallel3DVisualizer viz(viz_cfg());
+  std::map<int, std::string> logs;
+  for (int r = 0; r < 8; ++r) {
+    if (r != 2 && r != 6) logs[r] = "tp-allgather";
+  }
+  auto suspects = viz.locate_hung_ranks(logs);
+  EXPECT_EQ(suspects, (std::vector<int>{2, 6}));
+}
+
+// ---------------------------------------------------------------- stream
+
+TEST(Stream, StoreAggregatesPerRankSegment) {
+  EventStore store;
+  store.ingest({.rank = 0, .step = 1, .segment = "fwd", .duration = seconds(1.0)});
+  store.ingest({.rank = 0, .step = 2, .segment = "fwd", .duration = seconds(3.0)});
+  EXPECT_EQ(store.total_events(), 2u);
+  EXPECT_DOUBLE_EQ(store.mean_duration_s(0, "fwd"), 2.0);
+  EXPECT_DOUBLE_EQ(store.mean_duration_s(0, "bwd"), 0.0);
+}
+
+TEST(Stream, StepDrillDown) {
+  EventStore store;
+  store.ingest({.rank = 0, .step = 7, .segment = "fwd", .duration = 1});
+  store.ingest({.rank = 1, .step = 7, .segment = "bwd", .duration = 2});
+  store.ingest({.rank = 0, .step = 8, .segment = "fwd", .duration = 3});
+  EXPECT_EQ(store.step_records(7).size(), 2u);
+  EXPECT_EQ(store.step_records(9).size(), 0u);
+}
+
+TEST(Stream, StreamerDeliversEverything) {
+  EventStore store;
+  {
+    EventStreamer streamer(store, 64);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(streamer.publish(
+          {.rank = i % 8, .step = i, .segment = "fwd", .duration = seconds(0.01)}));
+    }
+    streamer.close();
+  }
+  EXPECT_EQ(store.total_events(), 1000u);
+}
+
+TEST(Stream, MultipleProducers) {
+  EventStore store;
+  {
+    EventStreamer streamer(store, 32);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < 250; ++i) {
+          streamer.publish({.rank = p, .step = i, .segment = "bwd",
+                            .duration = seconds(0.02)});
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    streamer.close();
+  }
+  EXPECT_EQ(store.total_events(), 1000u);
+  EXPECT_NEAR(store.mean_duration_s(2, "bwd"), 0.02, 1e-9);
+}
+
+TEST(Stream, PublishAfterCloseFails) {
+  EventStore store;
+  EventStreamer streamer(store);
+  streamer.close();
+  EXPECT_FALSE(streamer.publish({.rank = 0, .step = 0, .segment = "fwd",
+                                 .duration = 1}));
+}
+
+}  // namespace
+}  // namespace ms::diag

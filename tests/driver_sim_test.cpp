@@ -1,0 +1,130 @@
+// Tests for the event-driven driver/executor protocol (§4.1 Figure 5).
+#include <gtest/gtest.h>
+
+#include "ft/driver_sim.h"
+
+namespace ms::ft {
+namespace {
+
+DriverSimConfig small_cfg() {
+  DriverSimConfig cfg;
+  cfg.nodes = 8;
+  cfg.spares = 2;
+  return cfg;
+}
+
+TEST(DriverSim, QuietClusterTrainsTheWholeTime) {
+  Rng rng(1);
+  auto report = run_driver_sim(small_cfg(), hours(1.0), {}, rng);
+  EXPECT_TRUE(report.incidents.empty());
+  EXPECT_DOUBLE_EQ(report.effective_fraction, 1.0);
+  // 8 nodes, one beat per 10 s, one hour.
+  EXPECT_NEAR(static_cast<double>(report.heartbeats_processed), 8 * 360, 16);
+}
+
+TEST(DriverSim, ExplicitErrorDetectedWithinOneBeat) {
+  Rng rng(2);
+  std::vector<FaultEvent> faults{{minutes(10.0), 3, FaultType::kCudaError}};
+  auto report = run_driver_sim(small_cfg(), hours(1.0), faults, rng);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  const auto& incident = report.incidents[0];
+  EXPECT_EQ(incident.node, 3);
+  EXPECT_EQ(incident.type, FaultType::kCudaError);
+  EXPECT_EQ(incident.alarm_kind, AlarmKind::kErrorStatus);
+  EXPECT_LE(incident.alarm_at - incident.fault_at,
+            small_cfg().detector.heartbeat_interval);
+  EXPECT_GT(incident.resumed_at, incident.alarm_at);
+}
+
+TEST(DriverSim, HangDetectedByTimeoutSweep) {
+  Rng rng(3);
+  std::vector<FaultEvent> faults{{minutes(5.0), 6, FaultType::kGpuHang}};
+  auto report = run_driver_sim(small_cfg(), hours(1.0), faults, rng);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].alarm_kind, AlarmKind::kHeartbeatTimeout);
+  EXPECT_LE(report.incidents[0].alarm_at - report.incidents[0].fault_at,
+            small_cfg().detector.heartbeat_timeout +
+                2 * small_cfg().detector.heartbeat_interval);
+}
+
+TEST(DriverSim, NicFlapCaughtByRdmaMonitor) {
+  Rng rng(4);
+  std::vector<FaultEvent> faults{{minutes(5.0), 1, FaultType::kNicFlap}};
+  auto report = run_driver_sim(small_cfg(), hours(1.0), faults, rng);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].alarm_kind, AlarmKind::kRdmaSilence);
+}
+
+TEST(DriverSim, SilentStragglerNeverTriggersRecovery) {
+  Rng rng(5);
+  std::vector<FaultEvent> faults{{minutes(5.0), 2, FaultType::kSlowGpu}};
+  auto report = run_driver_sim(small_cfg(), hours(2.0), faults, rng);
+  EXPECT_TRUE(report.incidents.empty());  // needs the §5 tooling instead
+}
+
+TEST(DriverSim, MultipleFaultsAllRecovered) {
+  Rng rng(6);
+  std::vector<FaultEvent> faults{
+      {minutes(5.0), 0, FaultType::kCudaError},
+      {minutes(30.0), 4, FaultType::kSegFault},
+      {minutes(55.0), 7, FaultType::kEccError},
+  };
+  auto cfg = small_cfg();
+  cfg.spares = 4;  // enough spares that the pool never gates recovery
+  auto report = run_driver_sim(cfg, hours(2.0), faults, rng);
+  EXPECT_EQ(report.incidents.size(), 3u);
+  EXPECT_GE(report.effective_fraction, 0.75);
+  for (const auto& incident : report.incidents) {
+    EXPECT_GE(incident.resumed_at, incident.alarm_at);
+  }
+}
+
+TEST(DriverSim, SparePoolExhaustionStallsRecovery) {
+  auto cfg = small_cfg();
+  cfg.spares = 1;
+  cfg.node_repair_time = hours(12.0);  // repairs never come back in time
+  std::vector<FaultEvent> faults{
+      {minutes(5.0), 0, FaultType::kCudaError},
+      {minutes(20.0), 1, FaultType::kSegFault},
+      {minutes(40.0), 2, FaultType::kEccError},
+  };
+  Rng rng(7);
+  auto report = run_driver_sim(cfg, hours(2.0), faults, rng);
+  EXPECT_GE(report.spare_pool_exhausted_events, 1);
+  // Compare with an ample pool: strictly better effective time.
+  auto rich = small_cfg();
+  rich.spares = 8;
+  Rng rng2(7);
+  auto rich_report = run_driver_sim(rich, hours(2.0), faults, rng2);
+  EXPECT_GT(rich_report.effective_fraction, report.effective_fraction);
+  EXPECT_EQ(rich_report.spare_pool_exhausted_events, 0);
+}
+
+TEST(DriverSim, RepairedNodesReplenishThePool) {
+  auto cfg = small_cfg();
+  cfg.spares = 1;
+  cfg.node_repair_time = minutes(10.0);  // fast repair loop
+  std::vector<FaultEvent> faults{
+      {minutes(5.0), 0, FaultType::kCudaError},
+      {minutes(40.0), 1, FaultType::kSegFault},
+      {minutes(80.0), 2, FaultType::kEccError},
+  };
+  Rng rng(8);
+  auto report = run_driver_sim(cfg, hours(2.0), faults, rng);
+  EXPECT_EQ(report.incidents.size(), 3u);
+  EXPECT_EQ(report.spare_pool_exhausted_events, 0);
+}
+
+TEST(DriverSim, EffectiveFractionMatchesIncidentAccounting) {
+  Rng rng(9);
+  std::vector<FaultEvent> faults{{minutes(10.0), 3, FaultType::kCudaError}};
+  auto report = run_driver_sim(small_cfg(), hours(1.0), faults, rng);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  const auto& incident = report.incidents[0];
+  const TimeNs downtime = incident.resumed_at - incident.alarm_at;
+  EXPECT_NEAR(report.effective_fraction,
+              1.0 - to_seconds(downtime) / 3600.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ms::ft

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "ft/checkpoint.h"
+#include "ft/diagnostics.h"
+#include "ft/faults.h"
+#include "ft/monitor.h"
+#include "ft/workflow.h"
+
+namespace ms::ft {
+namespace {
+
+// ------------------------------------------------------------ checkpoint
+
+TEST(Checkpoint, TwoStageStallIsSeconds) {
+  CheckpointSpec spec;  // 175B-at-12288-GPUs defaults
+  const TimeNs stall = checkpoint_stall(spec, /*two_stage=*/true);
+  // §4.4: "this process can be reduced to several seconds".
+  EXPECT_LT(stall, seconds(2.0));
+  EXPECT_GT(stall, milliseconds(50.0));
+}
+
+TEST(Checkpoint, SynchronousStallIsMinutes) {
+  CheckpointSpec spec;
+  const TimeNs sync_stall = checkpoint_stall(spec, /*two_stage=*/false);
+  const TimeNs two_stage = checkpoint_stall(spec, true);
+  EXPECT_GT(sync_stall, 20 * two_stage);
+}
+
+TEST(Checkpoint, GroupLeaderReadCutsRecoveryByDpFactor) {
+  CheckpointSpec spec;
+  const TimeNs naive = recovery_read_time(spec, false);
+  const TimeNs optimized = recovery_read_time(spec, true);
+  // Parameter reads shrink by ~dp; total improvement is large.
+  EXPECT_GT(naive, 5 * optimized);
+  // And the optimized path fits the paper's <15 min recovery budget.
+  EXPECT_LT(optimized, minutes(15.0));
+}
+
+TEST(Checkpoint, UniqueBytesCountParamsOncePerDpGroup) {
+  CheckpointSpec spec;
+  spec.total_gpus = 64;
+  spec.dp = 4;
+  spec.param_bytes_per_gpu = 100;
+  spec.optimizer_bytes_per_gpu = 10;
+  EXPECT_EQ(spec.unique_bytes(), 100 * 16 + 10 * 64);
+}
+
+TEST(Checkpoint, ExpectedLossIsHalfInterval) {
+  EXPECT_EQ(expected_lost_progress(minutes(30.0)), minutes(15.0));
+}
+
+// ---------------------------------------------------------------- faults
+
+TEST(Faults, SignaturesAreConsistent) {
+  // Explicit-error faults have log keywords; silent ones do not.
+  EXPECT_TRUE(fault_signature(FaultType::kCudaError).explicit_error);
+  EXPECT_STREQ(fault_signature(FaultType::kCudaError).log_keyword,
+               "CUDA error");
+  EXPECT_TRUE(fault_signature(FaultType::kGpuHang).stops_heartbeat);
+  EXPECT_FALSE(fault_signature(FaultType::kSlowGpu).explicit_error);
+  EXPECT_LT(fault_signature(FaultType::kSlowGpu).diagnostic_detection, 0.2);
+}
+
+TEST(Faults, ScheduleRespectsMtbf) {
+  Rng rng(1);
+  const TimeNs duration = days(10.0);
+  auto events = draw_fault_schedule(duration, hours(6.0), 100,
+                                    default_fault_mix(), rng);
+  // ~40 expected events.
+  EXPECT_GT(events.size(), 20u);
+  EXPECT_LT(events.size(), 70u);
+  TimeNs prev = 0;
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.at, prev);
+    EXPECT_LT(ev.at, duration);
+    EXPECT_GE(ev.node, 0);
+    EXPECT_LT(ev.node, 100);
+    prev = ev.at;
+  }
+}
+
+TEST(Faults, MixWeightsRoughlyHonored) {
+  Rng rng(2);
+  auto events = draw_fault_schedule(days(1000.0), hours(1.0), 10,
+                                    default_fault_mix(), rng);
+  int cuda = 0;
+  for (const auto& ev : events) {
+    if (ev.type == FaultType::kCudaError) ++cuda;
+  }
+  EXPECT_NEAR(static_cast<double>(cuda) / static_cast<double>(events.size()),
+              0.36, 0.05);
+}
+
+// ------------------------------------------------------------ diagnostics
+
+TEST(Diagnostics, SuiteSensitivityMatchesSignature) {
+  Rng rng(3);
+  for (FaultType type :
+       {FaultType::kCudaError, FaultType::kEccError, FaultType::kNicFlap,
+        FaultType::kGpuHang, FaultType::kSlowGpu}) {
+    int flagged = 0;
+    constexpr int kTrials = 4000;
+    for (int i = 0; i < kTrials; ++i) {
+      SuiteConfig cfg;
+      cfg.false_positive_rate = 0.0;
+      if (run_diagnostic_suite({true, type}, cfg, rng).node_flagged) ++flagged;
+    }
+    const double measured = static_cast<double>(flagged) / kTrials;
+    EXPECT_NEAR(measured, fault_signature(type).diagnostic_detection, 0.03)
+        << fault_name(type);
+  }
+}
+
+TEST(Diagnostics, HealthyNodeRarelyFlagged) {
+  Rng rng(4);
+  SuiteConfig cfg;  // default 0.2% per test
+  int flagged = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (run_diagnostic_suite({false, FaultType::kCudaError}, cfg, rng)
+            .node_flagged) {
+      ++flagged;
+    }
+  }
+  EXPECT_LT(flagged, 80);  // ~0.8% expected
+}
+
+TEST(Diagnostics, SuiteIsLightweight) {
+  SuiteConfig cfg;
+  // §4.3: detection + diagnostics within the 10-minute budget.
+  EXPECT_LT(cfg.total_duration(), minutes(10.0));
+}
+
+TEST(Diagnostics, SensitivityMatrixShape) {
+  // NCCL all-to-all is the broadest test; loopback is intra-host only.
+  EXPECT_GT(test_sensitivity("nccl-all-to-all", FaultType::kCudaError), 0.5);
+  EXPECT_DOUBLE_EQ(test_sensitivity("loopback", FaultType::kCudaError), 0.0);
+  EXPECT_GT(test_sensitivity("rnic-to-rnic", FaultType::kNicFlap), 0.5);
+}
+
+// --------------------------------------------------------------- monitor
+
+DetectorConfig detector_config() { return DetectorConfig{}; }
+
+TEST(Monitor, ErrorStatusAlarmsImmediately) {
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  Heartbeat hb{.node = 0, .at = seconds(10.0), .error_status = true,
+               .rdma_gbps = 150};
+  auto alarm = det.feed(hb);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->kind, AlarmKind::kErrorStatus);
+  EXPECT_FALSE(alarm->warning_only);
+}
+
+TEST(Monitor, LogKeywordDetected) {
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  Heartbeat hb{.node = 0, .at = seconds(10.0), .error_status = false,
+               .rdma_gbps = 150};
+  hb.log_lines = {"iteration 100 loss 2.3", "CUDA error: device-side assert"};
+  auto alarm = det.feed(hb);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->kind, AlarmKind::kLogKeyword);
+}
+
+TEST(Monitor, RdmaSilenceAlarmsAfterBaseline) {
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_FALSE(det.feed({.node = 0, .at = i * seconds(10.0),
+                           .rdma_gbps = 150}));
+  }
+  auto alarm = det.feed({.node = 0, .at = seconds(40.0), .rdma_gbps = 0.1});
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->kind, AlarmKind::kRdmaSilence);
+  EXPECT_FALSE(alarm->warning_only);
+}
+
+TEST(Monitor, RdmaDeclineOnlyWarns) {
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  for (int i = 1; i <= 3; ++i) {
+    det.feed({.node = 0, .at = i * seconds(10.0), .rdma_gbps = 150});
+  }
+  auto alarm = det.feed({.node = 0, .at = seconds(40.0), .rdma_gbps = 60});
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_TRUE(alarm->warning_only);
+}
+
+TEST(Monitor, HealthyTrafficFluctuationIgnored) {
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  for (int i = 1; i <= 10; ++i) {
+    auto alarm = det.feed({.node = 0, .at = i * seconds(10.0),
+                           .rdma_gbps = 140 + (i % 3) * 10.0});
+    EXPECT_FALSE(alarm.has_value()) << "beat " << i;
+  }
+}
+
+TEST(Monitor, TimeoutDetection) {
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  det.track(1, 0);
+  det.feed({.node = 0, .at = seconds(10.0), .rdma_gbps = 150});
+  det.feed({.node = 1, .at = seconds(10.0), .rdma_gbps = 150});
+  // Node 1 goes quiet; node 0 keeps beating.
+  det.feed({.node = 0, .at = seconds(20.0), .rdma_gbps = 150});
+  det.feed({.node = 0, .at = seconds(30.0), .rdma_gbps = 150});
+  det.feed({.node = 0, .at = seconds(40.0), .rdma_gbps = 150});
+  auto alarms = det.check_timeouts(seconds(50.0));
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].node, 1);
+  EXPECT_EQ(alarms[0].kind, AlarmKind::kHeartbeatTimeout);
+  // No duplicate alarms on the next sweep.
+  EXPECT_TRUE(det.check_timeouts(seconds(60.0)).empty());
+}
+
+// -------------------------------------------------------------- workflow
+
+WorkflowConfig small_workflow() {
+  WorkflowConfig cfg;
+  cfg.nodes = 32;
+  return cfg;
+}
+
+TEST(Workflow, DetectionLatencyByFaultClass) {
+  Rng rng(5);
+  const auto cfg = small_workflow();
+  // Explicit errors: within one heartbeat interval.
+  auto cuda = detect_fault(cfg, FaultType::kCudaError, rng);
+  EXPECT_TRUE(cuda.automatic);
+  EXPECT_LE(cuda.latency, cfg.detector.heartbeat_interval);
+  // Hangs: bounded by timeout + interval.
+  auto hang = detect_fault(cfg, FaultType::kGpuHang, rng);
+  EXPECT_TRUE(hang.automatic);
+  EXPECT_STREQ(hang.path, "heartbeat-timeout");
+  EXPECT_LE(hang.latency,
+            cfg.detector.heartbeat_timeout + 2 * cfg.detector.heartbeat_interval);
+  // NIC flap: RDMA monitor.
+  auto flap = detect_fault(cfg, FaultType::kNicFlap, rng);
+  EXPECT_TRUE(flap.automatic);
+  // Silent straggler: not automatic.
+  auto slow = detect_fault(cfg, FaultType::kSlowGpu, rng);
+  EXPECT_FALSE(slow.automatic);
+  EXPECT_STREQ(slow.path, "perf-monitor");
+}
+
+TEST(Workflow, WeekLongRunMeetsPaperTargets) {
+  Rng rng(6);
+  auto cfg = small_workflow();
+  const TimeNs duration = days(14.0);
+  auto faults = draw_fault_schedule(duration, hours(8.0), cfg.nodes,
+                                    default_fault_mix(), rng);
+  auto report = run_robust_training(cfg, duration, faults, rng);
+  EXPECT_GT(report.restarts, 10);
+  // §6.3: >90% of faults auto-detected and recovered; >90% effective time.
+  EXPECT_GT(report.auto_detected_fraction, 0.85);
+  EXPECT_GT(report.effective_time_ratio, 0.90);
+  // Detection + diagnosis well under 10 minutes for the automatic cases.
+  EXPECT_LT(report.mean_detect_latency, minutes(10.0));
+}
+
+TEST(Workflow, NoFaultsMeansOnlyCheckpointOverhead) {
+  Rng rng(7);
+  auto cfg = small_workflow();
+  auto report = run_robust_training(cfg, days(1.0), {}, rng);
+  EXPECT_EQ(report.restarts, 0);
+  EXPECT_EQ(report.downtime_total, 0);
+  EXPECT_GT(report.checkpoints_taken, 40);  // every 30 min
+  EXPECT_GT(report.effective_time_ratio, 0.99);
+}
+
+TEST(Workflow, MoreFrequentCheckpointsTradeStallForLoss) {
+  Rng rng(8);
+  auto cfg = small_workflow();
+  const TimeNs duration = days(7.0);
+  Rng fault_rng(9);
+  auto faults = draw_fault_schedule(duration, hours(6.0), cfg.nodes,
+                                    default_fault_mix(), fault_rng);
+  cfg.checkpoint_interval = hours(4.0);
+  Rng r1(10);
+  auto sparse = run_robust_training(cfg, duration, faults, r1);
+  cfg.checkpoint_interval = minutes(15.0);
+  Rng r2(10);
+  auto frequent = run_robust_training(cfg, duration, faults, r2);
+  EXPECT_LT(frequent.lost_progress_total, sparse.lost_progress_total);
+  EXPECT_GT(frequent.checkpoint_stall_total, sparse.checkpoint_stall_total);
+  // With seconds-level stalls, frequent checkpointing wins overall.
+  EXPECT_GT(frequent.effective_time_ratio, sparse.effective_time_ratio);
+}
+
+TEST(Workflow, SlowReinitHurtsEffectiveTime) {
+  Rng fault_rng(11);
+  auto cfg = small_workflow();
+  const TimeNs duration = days(7.0);
+  auto faults = draw_fault_schedule(duration, hours(4.0), cfg.nodes,
+                                    default_fault_mix(), fault_rng);
+  Rng r1(12);
+  auto fast = run_robust_training(cfg, duration, faults, r1);
+  cfg.reinit_time = seconds(1047.0);  // §3.5 naive TCPStore initialization
+  Rng r2(12);
+  auto slow = run_robust_training(cfg, duration, faults, r2);
+  EXPECT_LT(slow.effective_time_ratio, fast.effective_time_ratio);
+}
+
+TEST(Workflow, IncidentAccountingConsistent) {
+  Rng rng(13);
+  auto cfg = small_workflow();
+  const TimeNs duration = days(3.0);
+  Rng fault_rng(14);
+  auto faults = draw_fault_schedule(duration, hours(6.0), cfg.nodes,
+                                    default_fault_mix(), fault_rng);
+  auto report = run_robust_training(cfg, duration, faults, rng);
+  TimeNs downtime = 0, lost = 0;
+  for (const auto& i : report.incidents) {
+    downtime += i.downtime;
+    lost += i.lost_progress;
+    EXPECT_LE(i.lost_progress, cfg.checkpoint_interval);
+    EXPECT_GT(i.downtime, 0);
+  }
+  EXPECT_EQ(downtime, report.downtime_total);
+  EXPECT_EQ(lost, report.lost_progress_total);
+  EXPECT_EQ(report.restarts, static_cast<int>(report.incidents.size()));
+}
+
+}  // namespace
+}  // namespace ms::ft

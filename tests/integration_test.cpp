@@ -1,0 +1,226 @@
+// Cross-module integration tests: the pieces of the stack working together
+// the way the production system composes them.
+#include <gtest/gtest.h>
+
+#include "diag/heatmap.h"
+#include "diag/timeline.h"
+#include "dist/data_parallel.h"
+#include "engine/job.h"
+#include "engine/perturb.h"
+#include "ft/ckpt_writer.h"
+#include "optim/schedule.h"
+#include "optim/trainer.h"
+
+namespace ms {
+namespace {
+
+// ---------------------- checkpoint/resume with real training state -------
+
+optim::TinyGptConfig small_model() {
+  optim::TinyGptConfig cfg;
+  cfg.vocab = 16;
+  cfg.seq_len = 8;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.layers = 1;
+  cfg.ffn_hidden = 32;
+  return cfg;
+}
+
+// Train, checkpoint through the two-stage writer at step k, "crash", restore
+// weights AND optimizer state, continue — the resumed run must follow the
+// uninterrupted run exactly (same data stream).
+TEST(Integration, CheckpointRestoreResumesExactly) {
+  const auto cfg = small_model();
+  optim::MarkovCorpus corpus(16, 3, 500);
+  constexpr int kCrashStep = 10, kTotalSteps = 20;
+
+  auto make_batch = [&](Rng& rng) {
+    std::vector<std::vector<int>> batch;
+    for (int i = 0; i < 2; ++i) {
+      batch.push_back(corpus.sample_sequence(cfg.seq_len + 1, rng));
+    }
+    return batch;
+  };
+  auto run_steps = [&](optim::TinyGpt& model, optim::Adam& adam, Rng& data,
+                       int from, int to) {
+    double last = 0;
+    for (int s = from; s < to; ++s) {
+      adam.zero_grad();
+      for (const auto& seq : make_batch(data)) {
+        optim::scale(model.loss(seq), 0.5f).backward();
+      }
+      adam.step(2e-3f);
+      auto params = model.parameters();
+      last = 0;  // recompute a deterministic probe loss on fixed data
+      (void)params;
+      Rng probe(1234);
+      last = model.loss(corpus.sample_sequence(cfg.seq_len + 1, probe)).item();
+    }
+    return last;
+  };
+
+  // Reference: uninterrupted.
+  Rng init_a(501);
+  optim::TinyGpt ref_model(cfg, init_a);
+  optim::Adam ref_adam(ref_model.parameters());
+  Rng ref_data(502);
+  const double ref_final = run_steps(ref_model, ref_adam, ref_data, 0, kTotalSteps);
+
+  // Crash-and-resume: checkpoint at kCrashStep through the real two-stage
+  // writer, restore into a FRESH model+optimizer, replay the remaining
+  // data stream.
+  ft::Snapshot persisted;
+  {
+    ft::TwoStageCheckpointWriter writer(
+        [&](const ft::Snapshot& s) { persisted = s; });
+    Rng init_b(501);
+    optim::TinyGpt model(cfg, init_b);
+    optim::Adam adam(model.parameters());
+    Rng data(502);
+    run_steps(model, adam, data, 0, kCrashStep);
+    // Snapshot = flattened params + optimizer state.
+    auto params = model.parameters();
+    std::vector<float> state = dist::flatten_params(params, 1);
+    const auto opt_state = adam.export_state();
+    state.insert(state.end(), opt_state.begin(), opt_state.end());
+    ASSERT_TRUE(writer.snapshot(kCrashStep, state));
+    writer.flush();
+    // data stream position after kCrashStep: save by re-deriving below.
+  }
+  ASSERT_EQ(persisted.step, kCrashStep);
+
+  // Restore.
+  Rng init_c(999);  // deliberately different init — restore must overwrite
+  optim::TinyGpt resumed(cfg, init_c);
+  optim::Adam resumed_adam(resumed.parameters());
+  auto params = resumed.parameters();
+  const std::size_t param_count =
+      dist::flatten_params(params, 1).size();
+  std::vector<float> weights(persisted.state.begin(),
+                             persisted.state.begin() +
+                                 static_cast<long>(param_count));
+  dist::unflatten_into_params(weights, params);
+  ASSERT_TRUE(resumed_adam.import_state(std::vector<float>(
+      persisted.state.begin() + static_cast<long>(param_count),
+      persisted.state.end())));
+
+  // Replay the data stream to the crash point, then continue.
+  Rng data(502);
+  for (int s = 0; s < kCrashStep; ++s) make_batch(data);
+  const double resumed_final =
+      run_steps(resumed, resumed_adam, data, kCrashStep, kTotalSteps);
+
+  EXPECT_NEAR(resumed_final, ref_final, 1e-5);
+}
+
+// ---------------------- engine spans feed the diagnosis tools ------------
+
+TEST(Integration, EngineSpansDriveTimelineAndBubbleAccounting) {
+  engine::JobConfig cfg;
+  cfg.model = model::config_175b();
+  cfg.model.layers = 48;
+  cfg.par = parallel::ParallelConfig{.tp = 8, .pp = 4, .dp = 1, .vpp = 2};
+  cfg.global_batch = 8;
+  cfg.ops = model::OperatorProfile::megascale();
+  cfg.overlap = engine::OverlapOptions::megascale();
+  const auto result = engine::simulate_iteration(cfg);
+
+  diag::TimelineTrace trace;
+  for (const auto& rec : result.spans) {
+    if (rec.tag != "fwd" && rec.tag != "bwd") continue;
+    trace.add({.rank = rec.stream / 4, .name = rec.name, .tag = rec.tag,
+               .start = rec.start, .end = rec.end});
+  }
+  // Every stage shows nonzero busy and nonzero bubble inside the iteration.
+  for (int stage = 0; stage < 4; ++stage) {
+    const TimeNs idle = trace.idle_time(stage, 0, result.iteration_time);
+    EXPECT_GT(idle, 0) << "stage " << stage;
+    EXPECT_LT(idle, result.iteration_time) << "stage " << stage;
+  }
+  // The JSON trace exports cleanly.
+  EXPECT_GT(trace.chrome_trace_json().size(), 100u);
+}
+
+TEST(Integration, StragglerFoldShowsUpInHeatmapAndMfu) {
+  engine::JobConfig cfg;
+  cfg.model = model::config_175b();
+  cfg.model.parallel_block = true;
+  cfg.par = parallel::ParallelConfig{.tp = 8, .pp = 8, .dp = 4, .vpp = 6};
+  cfg.global_batch = 256;
+  cfg.ops = model::OperatorProfile::megascale();
+  cfg.overlap = engine::OverlapOptions::megascale();
+  const auto base = engine::simulate_iteration(cfg);
+
+  std::vector<double> speeds(32, 1.0);
+  speeds[13] = 1.10;
+  const auto fold = engine::fold_stragglers(base, cfg, speeds);
+  EXPECT_LT(fold.mfu, base.mfu);
+
+  // The same speeds, observed through the CUDA-event monitor, localize the
+  // straggler the MFU drop came from.
+  diag::PerformanceHeatmap hm;
+  for (int m = 0; m < 32; ++m) {
+    for (int step = 0; step < 10; ++step) {
+      hm.add_sample(m, "fwd", 0.01 * speeds[static_cast<std::size_t>(m)]);
+    }
+  }
+  const auto outliers = hm.outliers(0.05);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], 13);
+}
+
+// ---------------------- LR schedule + clip inside a real training loop ---
+
+TEST(Integration, WarmupCosineWithClippingTrains) {
+  const auto cfg = small_model();
+  optim::MarkovCorpus corpus(16, 3, 600);
+  Rng init(601);
+  optim::TinyGpt model(cfg, init);
+  optim::Adam adam(model.parameters());
+  optim::LrSchedule sched{.base_lr = 5e-3f, .min_lr = 5e-4f,
+                          .warmup_steps = 10, .total_steps = 60};
+  Rng data(602);
+  double first = 0, last = 0;
+  for (int step = 0; step < 60; ++step) {
+    adam.zero_grad();
+    for (int i = 0; i < 2; ++i) {
+      auto seq = corpus.sample_sequence(cfg.seq_len + 1, data);
+      optim::Tensor loss = optim::scale(model.loss(seq), 0.5f);
+      loss.backward();
+      if (step == 0 && i == 1) first = loss.item() * 2.0;
+      last = loss.item() * 2.0;
+    }
+    auto params = model.parameters();
+    optim::clip_grad_norm(params, 1.0f);
+    adam.step(sched.at(step));
+  }
+  EXPECT_LT(last, first);
+}
+
+// ---------------------- DP training + straggler-free determinism ---------
+
+TEST(Integration, DpTrainerDeterministicAcrossRuns) {
+  const auto cfg = small_model();
+  optim::MarkovCorpus corpus(16, 3, 700);
+  auto run = [&] {
+    dist::Zero2DataParallel dp(cfg, 2, 701);
+    Rng data(702);
+    double loss = 0;
+    for (int step = 0; step < 5; ++step) {
+      std::vector<std::vector<int>> batch;
+      for (int i = 0; i < 4; ++i) {
+        batch.push_back(corpus.sample_sequence(cfg.seq_len + 1, data));
+      }
+      loss = dp.step(batch, 1e-3f);
+    }
+    return std::make_pair(loss, dp.flat_params(0));
+  };
+  const auto [loss_a, params_a] = run();
+  const auto [loss_b, params_b] = run();
+  EXPECT_DOUBLE_EQ(loss_a, loss_b);
+  EXPECT_EQ(params_a, params_b);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,560 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "optim/autograd.h"
+#include "optim/nn.h"
+#include "optim/optimizers.h"
+#include "optim/trainer.h"
+
+namespace ms::optim {
+namespace {
+
+// Finite-difference gradient of make_loss w.r.t. leaf[idx]. make_loss must
+// rebuild the graph from current leaf values.
+double numeric_grad(Tensor& leaf, std::size_t idx,
+                    const std::function<Tensor()>& make_loss,
+                    float eps = 1e-3f) {
+  const float orig = leaf.data()[idx];
+  leaf.data()[idx] = orig + eps;
+  const double lp = make_loss().item();
+  leaf.data()[idx] = orig - eps;
+  const double lm = make_loss().item();
+  leaf.data()[idx] = orig;
+  return (lp - lm) / (2.0 * eps);
+}
+
+// Checks every element of `leaf` against finite differences.
+void check_grads(Tensor& leaf, const std::function<Tensor()>& make_loss,
+                 double tol = 5e-2) {
+  leaf.zero_grad();
+  Tensor loss = make_loss();
+  loss.backward();
+  std::vector<float> analytic(leaf.grad(), leaf.grad() + leaf.numel());
+  for (std::int64_t i = 0; i < leaf.numel(); ++i) {
+    const double numeric =
+        numeric_grad(leaf, static_cast<std::size_t>(i), make_loss);
+    const double scale_ref =
+        std::max({1.0, std::fabs(numeric), std::fabs(static_cast<double>(
+                                               analytic[static_cast<std::size_t>(i)]))});
+    EXPECT_NEAR(analytic[static_cast<std::size_t>(i)], numeric, tol * scale_ref)
+        << "element " << i;
+  }
+}
+
+// ---------------------------------------------------------------- basics
+
+TEST(Autograd, TensorConstruction) {
+  auto t = Tensor::zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.shape(), (std::vector<int>{2, 3}));
+  auto f = Tensor::full({2}, 3.5f);
+  EXPECT_FLOAT_EQ(f.data()[0], 3.5f);
+  auto v = Tensor::from({1, 2, 3}, {3});
+  EXPECT_FLOAT_EQ(v.data()[2], 3.0f);
+}
+
+TEST(Autograd, SumAndBackward) {
+  auto x = Tensor::from({1, 2, 3, 4}, {2, 2}, true);
+  Tensor s = sum(x);
+  EXPECT_FLOAT_EQ(s.item(), 10.0f);
+  s.backward();
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 1.0f);
+}
+
+TEST(Autograd, MatmulForwardKnownValues) {
+  auto a = Tensor::from({1, 2, 3, 4}, {2, 2});
+  auto b = Tensor::from({5, 6, 7, 8}, {2, 2});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.data()[0], 19.0f);
+  EXPECT_FLOAT_EQ(c.data()[1], 22.0f);
+  EXPECT_FLOAT_EQ(c.data()[2], 43.0f);
+  EXPECT_FLOAT_EQ(c.data()[3], 50.0f);
+}
+
+TEST(Autograd, MatmulTransposesAgree) {
+  Rng rng(1);
+  auto a = Tensor::randn({3, 4}, rng, 1.0f);
+  auto b = Tensor::randn({4, 2}, rng, 1.0f);
+  // Build a^T stored as [4,3] and b^T stored as [2,4].
+  std::vector<float> at(12), bt(8);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j) at[static_cast<std::size_t>(j * 3 + i)] = a.data()[i * 4 + j];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 2; ++j) bt[static_cast<std::size_t>(j * 4 + i)] = b.data()[i * 2 + j];
+  auto a_t = Tensor::from(std::move(at), {4, 3});
+  auto b_t = Tensor::from(std::move(bt), {2, 4});
+
+  Tensor plain = matmul(a, b);
+  Tensor via_ta = matmul(a_t, b, /*trans_a=*/true);
+  Tensor via_tb = matmul(a, b_t, false, /*trans_b=*/true);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(plain.data()[i], via_ta.data()[i], 1e-5);
+    EXPECT_NEAR(plain.data()[i], via_tb.data()[i], 1e-5);
+  }
+}
+
+// ------------------------------------------------------- gradient checks
+
+TEST(GradCheck, Matmul) {
+  Rng rng(2);
+  auto a = Tensor::randn({3, 4}, rng, 0.5f, true);
+  auto b = Tensor::randn({4, 2}, rng, 0.5f, true);
+  auto make_loss = [&] { return sum(matmul(a, b)); };
+  check_grads(a, make_loss);
+  check_grads(b, make_loss);
+}
+
+TEST(GradCheck, MatmulTransposed) {
+  Rng rng(3);
+  auto a = Tensor::randn({4, 3}, rng, 0.5f, true);  // used as a^T
+  auto b = Tensor::randn({2, 4}, rng, 0.5f, true);  // used as b^T
+  auto make_loss = [&] { return sum(matmul(a, b, true, true)); };
+  check_grads(a, make_loss);
+  check_grads(b, make_loss);
+}
+
+TEST(GradCheck, AddBroadcastBias) {
+  Rng rng(4);
+  auto x = Tensor::randn({3, 4}, rng, 0.5f, true);
+  auto bias = Tensor::randn({4}, rng, 0.5f, true);
+  // Square via mul to make the gradient non-trivial.
+  auto make_loss = [&] {
+    Tensor y = add(x, bias);
+    return sum(mul(y, y));
+  };
+  check_grads(x, make_loss);
+  check_grads(bias, make_loss);
+}
+
+TEST(GradCheck, MulAndScale) {
+  Rng rng(5);
+  auto a = Tensor::randn({2, 3}, rng, 0.5f, true);
+  auto b = Tensor::randn({2, 3}, rng, 0.5f, true);
+  auto make_loss = [&] { return sum(scale(mul(a, b), 2.5f)); };
+  check_grads(a, make_loss);
+  check_grads(b, make_loss);
+}
+
+TEST(GradCheck, Gelu) {
+  Rng rng(6);
+  auto x = Tensor::randn({2, 5}, rng, 1.0f, true);
+  auto make_loss = [&] { return sum(gelu(x)); };
+  check_grads(x, make_loss);
+}
+
+TEST(GradCheck, LayerNorm) {
+  Rng rng(7);
+  auto x = Tensor::randn({3, 6}, rng, 1.0f, true);
+  auto gamma = Tensor::randn({6}, rng, 0.3f, true);
+  auto beta = Tensor::randn({6}, rng, 0.3f, true);
+  for (int i = 0; i < 6; ++i) gamma.data()[i] += 1.0f;
+  auto make_loss = [&] {
+    Tensor y = layernorm(x, gamma, beta);
+    return sum(mul(y, y));
+  };
+  check_grads(x, make_loss, 8e-2);
+  check_grads(gamma, make_loss);
+  check_grads(beta, make_loss);
+}
+
+TEST(GradCheck, Embedding) {
+  Rng rng(8);
+  auto table = Tensor::randn({5, 3}, rng, 0.5f, true);
+  const std::vector<int> ids{0, 2, 2, 4};
+  auto make_loss = [&] {
+    Tensor e = embedding(ids, table);
+    return sum(mul(e, e));
+  };
+  check_grads(table, make_loss);
+}
+
+TEST(GradCheck, AttentionFull) {
+  Rng rng(9);
+  auto q = Tensor::randn({4, 6}, rng, 0.5f, true);
+  auto k = Tensor::randn({4, 6}, rng, 0.5f, true);
+  auto v = Tensor::randn({4, 6}, rng, 0.5f, true);
+  auto make_loss = [&] {
+    Tensor o = attention(q, k, v, /*heads=*/2);
+    return sum(mul(o, o));
+  };
+  check_grads(q, make_loss, 8e-2);
+  check_grads(k, make_loss, 8e-2);
+  check_grads(v, make_loss, 8e-2);
+}
+
+TEST(GradCheck, AttentionSlidingWindow) {
+  Rng rng(10);
+  auto q = Tensor::randn({6, 4}, rng, 0.5f, true);
+  auto k = Tensor::randn({6, 4}, rng, 0.5f, true);
+  auto v = Tensor::randn({6, 4}, rng, 0.5f, true);
+  auto make_loss = [&] {
+    Tensor o = attention(q, k, v, /*heads=*/2, /*window=*/2);
+    return sum(mul(o, o));
+  };
+  check_grads(q, make_loss, 8e-2);
+  check_grads(v, make_loss, 8e-2);
+}
+
+TEST(GradCheck, CrossEntropy) {
+  Rng rng(11);
+  auto logits = Tensor::randn({3, 5}, rng, 1.0f, true);
+  const std::vector<int> targets{1, 0, 4};
+  auto make_loss = [&] { return cross_entropy(logits, targets); };
+  check_grads(logits, make_loss);
+}
+
+// ----------------------------------------------------------- attention
+
+TEST(Attention, CausalMaskRespected) {
+  Rng rng(12);
+  auto q = Tensor::randn({4, 4}, rng, 0.5f);
+  auto k = Tensor::randn({4, 4}, rng, 0.5f);
+  auto v = Tensor::randn({4, 4}, rng, 0.5f, true);
+  Tensor out1 = attention(q, k, v, 2);
+  // Perturb the FUTURE value row 3; outputs at positions 0..2 unchanged.
+  v.data()[3 * 4 + 1] += 10.0f;
+  Tensor out2 = attention(q, k, v, 2);
+  for (int i = 0; i < 3 * 4; ++i) {
+    EXPECT_FLOAT_EQ(out1.data()[i], out2.data()[i]);
+  }
+  // Position 3 must change.
+  bool changed = false;
+  for (int j = 0; j < 4; ++j) {
+    changed |= out1.data()[3 * 4 + j] != out2.data()[3 * 4 + j];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Attention, WindowLimitsReceptiveField) {
+  Rng rng(13);
+  const int T = 8;
+  auto q = Tensor::randn({T, 4}, rng, 0.5f);
+  auto k = Tensor::randn({T, 4}, rng, 0.5f);
+  auto v = Tensor::randn({T, 4}, rng, 0.5f);
+  Tensor out1 = attention(q, k, v, 2, /*window=*/3);
+  // Perturb v at position 0; positions >= 3 cannot see it (i - j >= w).
+  v.data()[1] += 10.0f;
+  Tensor out2 = attention(q, k, v, 2, /*window=*/3);
+  for (int i = 3; i < T; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(out1.data()[i * 4 + j], out2.data()[i * 4 + j])
+          << "position " << i;
+    }
+  }
+  // Position 1 does see it.
+  bool changed = false;
+  for (int j = 0; j < 4; ++j) {
+    changed |= out1.data()[1 * 4 + j] != out2.data()[1 * 4 + j];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Attention, RowsSumToOneViaUniformValues) {
+  // With all V rows equal, attention output equals that row regardless of
+  // scores — a softmax-normalization sanity check.
+  Rng rng(14);
+  auto q = Tensor::randn({5, 4}, rng, 1.0f);
+  auto k = Tensor::randn({5, 4}, rng, 1.0f);
+  std::vector<float> same(5 * 4);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) same[static_cast<std::size_t>(i * 4 + j)] = static_cast<float>(j);
+  }
+  auto v = Tensor::from(std::move(same), {5, 4});
+  Tensor out = attention(q, k, v, 2);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(out.data()[i * 4 + j], static_cast<float>(j), 1e-4);
+    }
+  }
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogV) {
+  auto logits = Tensor::zeros({4, 10}, true);
+  Tensor loss = cross_entropy(logits, {0, 3, 7, 9});
+  EXPECT_NEAR(loss.item(), std::log(10.0), 1e-5);
+}
+
+// ----------------------------------------------------------------- model
+
+TinyGptConfig tiny_config() {
+  TinyGptConfig cfg;
+  cfg.vocab = 32;
+  cfg.seq_len = 16;
+  cfg.hidden = 32;
+  cfg.heads = 4;
+  cfg.layers = 2;
+  cfg.ffn_hidden = 64;
+  return cfg;
+}
+
+TEST(TinyGpt, ParameterCountMatchesArchitecture) {
+  Rng rng(15);
+  TinyGpt model(tiny_config(), rng);
+  const auto cfg = tiny_config();
+  // embedding + pos + per-layer (2 LN + qkv + proj + fc1 + fc2) + final LN
+  // + head.
+  std::int64_t expected = 0;
+  expected += static_cast<std::int64_t>(cfg.vocab) * cfg.hidden;
+  expected += static_cast<std::int64_t>(cfg.seq_len) * cfg.hidden;
+  const std::int64_t per_layer =
+      2 * (2 * cfg.hidden) + (cfg.hidden * 3 * cfg.hidden + 3 * cfg.hidden) +
+      (cfg.hidden * cfg.hidden + cfg.hidden) +
+      (cfg.hidden * cfg.ffn_hidden + cfg.ffn_hidden) +
+      (cfg.ffn_hidden * cfg.hidden + cfg.hidden);
+  expected += cfg.layers * per_layer;
+  expected += 2 * cfg.hidden;
+  expected += static_cast<std::int64_t>(cfg.hidden) * cfg.vocab + cfg.vocab;
+  EXPECT_EQ(model.parameter_count(), expected);
+}
+
+TEST(TinyGpt, ParallelBlockHasFewerParams) {
+  Rng rng(16);
+  auto serial_cfg = tiny_config();
+  auto ptb_cfg = serial_cfg;
+  ptb_cfg.parallel_block = true;
+  TinyGpt serial(serial_cfg, rng);
+  TinyGpt ptb(ptb_cfg, rng);
+  // One LayerNorm fewer per block.
+  EXPECT_EQ(serial.parameter_count() - ptb.parameter_count(),
+            static_cast<std::int64_t>(serial_cfg.layers) * 2 * serial_cfg.hidden);
+}
+
+TEST(TinyGpt, ForwardIsCausal) {
+  Rng rng(17);
+  TinyGpt model(tiny_config(), rng);
+  std::vector<int> tokens{1, 2, 3, 4, 5, 6, 7, 8};
+  Tensor logits1 = model.forward(tokens);
+  tokens[6] = 30;  // change a late token
+  Tensor logits2 = model.forward(tokens);
+  const int V = tiny_config().vocab;
+  for (int t = 0; t < 6; ++t) {
+    for (int j = 0; j < V; ++j) {
+      EXPECT_FLOAT_EQ(logits1.data()[t * V + j], logits2.data()[t * V + j])
+          << "position " << t;
+    }
+  }
+}
+
+TEST(TinyGpt, GradientsFlowToAllParameters) {
+  Rng rng(18);
+  TinyGpt model(tiny_config(), rng);
+  Rng data_rng(19);
+  MarkovCorpus corpus(32, 3, 20);
+  auto tokens = corpus.sample_sequence(17, data_rng);
+  Tensor loss = model.loss(tokens);
+  loss.backward();
+  for (auto& p : model.parameters()) {
+    double norm = 0.0;
+    for (std::int64_t i = 0; i < p.tensor.numel(); ++i) {
+      norm += std::fabs(p.tensor.grad()[i]);
+    }
+    EXPECT_GT(norm, 0.0) << p.name << " received no gradient";
+  }
+}
+
+// ------------------------------------------------------------ optimizers
+
+TEST(Optimizers, SgdStepMatchesFormula) {
+  auto w = Tensor::from({1.0f, 2.0f}, {2}, true);
+  w.grad()[0] = 0.5f;
+  w.grad()[1] = -1.0f;
+  Sgd opt({{"w", w}});
+  opt.step(0.1f);
+  EXPECT_FLOAT_EQ(w.data()[0], 0.95f);
+  EXPECT_FLOAT_EQ(w.data()[1], 2.1f);
+}
+
+TEST(Optimizers, AdamFirstStepIsLrSized) {
+  auto w = Tensor::from({1.0f}, {1}, true);
+  w.grad()[0] = 0.7f;  // any gradient: first Adam step ~ lr in magnitude
+  Adam opt({{"w", w}});
+  opt.step(0.01f);
+  EXPECT_NEAR(w.data()[0], 1.0f - 0.01f, 1e-4);
+}
+
+TEST(Optimizers, ZeroGradClears) {
+  auto w = Tensor::from({1.0f}, {1}, true);
+  w.grad()[0] = 5.0f;
+  Sgd opt({{"w", w}});
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(w.grad()[0], 0.0f);
+}
+
+TEST(Optimizers, AdamConvergesOnQuadratic) {
+  // minimize (w - 3)^2
+  auto w = Tensor::from({0.0f}, {1}, true);
+  Adam opt({{"w", w}});
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    w.grad()[0] = 2.0f * (w.data()[0] - 3.0f);
+    opt.step(0.05f);
+  }
+  EXPECT_NEAR(w.data()[0], 3.0f, 0.05f);
+}
+
+TEST(Optimizers, LambTrustRatioScalesUpdate) {
+  // Two blocks with very different weight norms get different effective
+  // steps under LAMB, identical under Adam.
+  auto big = Tensor::from({100.0f, 100.0f}, {2}, true);
+  auto small = Tensor::from({0.1f, 0.1f}, {2}, true);
+  big.grad()[0] = big.grad()[1] = 1.0f;
+  small.grad()[0] = small.grad()[1] = 1.0f;
+  Lamb opt({{"big", big}, {"small", small}});
+  opt.step(0.01f);
+  const auto& trust = opt.last_trust_ratios();
+  ASSERT_EQ(trust.size(), 2u);
+  EXPECT_GT(trust[0], trust[1]);  // larger weights get larger trusted step
+}
+
+TEST(Optimizers, LambConvergesOnQuadratic) {
+  auto w = Tensor::from({10.0f}, {1}, true);
+  Lamb opt({{"w", w}});
+  for (int i = 0; i < 800; ++i) {
+    opt.zero_grad();
+    w.grad()[0] = 2.0f * (w.data()[0] - 3.0f);
+    opt.step(0.02f);
+  }
+  EXPECT_NEAR(w.data()[0], 3.0f, 0.2f);
+}
+
+// --------------------------------------------------------------- corpus
+
+TEST(Corpus, SequencesContainValidTokens) {
+  MarkovCorpus corpus(32, 3, 21);
+  Rng rng(22);
+  auto seq = corpus.sample_sequence(100, rng);
+  EXPECT_EQ(seq.size(), 100u);
+  for (int t : seq) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 32);
+  }
+}
+
+TEST(Corpus, EntropyBelowUniform) {
+  MarkovCorpus corpus(32, 3, 23);
+  EXPECT_GT(corpus.entropy_per_token(), 0.0);
+  EXPECT_LT(corpus.entropy_per_token(), std::log(32.0));
+}
+
+TEST(Corpus, TransitionsFollowChain) {
+  MarkovCorpus corpus(16, 2, 24);
+  Rng rng(25);
+  // With branching 2, each token is followed by at most 2 distinct tokens.
+  std::vector<std::set<int>> successors(16);
+  auto seq = corpus.sample_sequence(2000, rng);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    successors[static_cast<std::size_t>(seq[i - 1])].insert(seq[i]);
+  }
+  for (const auto& s : successors) {
+    EXPECT_LE(s.size(), 2u);
+  }
+}
+
+// -------------------------------------------------------------- training
+
+TEST(Training, LossDecreases) {
+  Rng rng(26);
+  auto cfg = tiny_config();
+  TinyGpt model(cfg, rng);
+  MarkovCorpus corpus(cfg.vocab, 3, 27);
+  Adam opt(model.parameters());
+  TrainConfig tc;
+  tc.steps = 60;
+  tc.batch_size = 4;
+  tc.lr = 3e-3f;
+  Rng data_rng(28);
+  auto record = train_lm(model, opt, corpus, tc, data_rng);
+  const double first = record.loss_vs_tokens.y.front();
+  EXPECT_LT(record.final_loss, first - 0.5);
+  // Should be heading toward the corpus entropy floor.
+  EXPECT_LT(record.final_loss, std::log(32.0));
+}
+
+TEST(Training, ParallelBlockTrainsComparably) {
+  auto cfg = tiny_config();
+  MarkovCorpus corpus(cfg.vocab, 3, 29);
+  TrainConfig tc;
+  tc.steps = 60;
+  tc.batch_size = 4;
+  tc.lr = 3e-3f;
+
+  Rng rng1(30);
+  TinyGpt serial(cfg, rng1);
+  Adam opt1(serial.parameters());
+  Rng d1(31);
+  auto serial_rec = train_lm(serial, opt1, corpus, tc, d1);
+
+  auto ptb_cfg = cfg;
+  ptb_cfg.parallel_block = true;
+  Rng rng2(30);
+  TinyGpt ptb(ptb_cfg, rng2);
+  Adam opt2(ptb.parameters());
+  Rng d2(31);
+  auto ptb_rec = train_lm(ptb, opt2, corpus, tc, d2);
+
+  // §6.2: comparable loss (generous tolerance at this tiny scale).
+  EXPECT_NEAR(ptb_rec.final_loss, serial_rec.final_loss, 0.5);
+}
+
+TEST(Training, SlidingWindowTrainsComparably) {
+  auto cfg = tiny_config();
+  MarkovCorpus corpus(cfg.vocab, 3, 32);
+  TrainConfig tc;
+  tc.steps = 60;
+  tc.batch_size = 4;
+  tc.lr = 3e-3f;
+
+  Rng rng1(33);
+  TinyGpt full(cfg, rng1);
+  Adam opt1(full.parameters());
+  Rng d1(34);
+  auto full_rec = train_lm(full, opt1, corpus, tc, d1);
+
+  auto swa_cfg = cfg;
+  swa_cfg.window = 4;  // order-1 chain: a short window suffices
+  Rng rng2(33);
+  TinyGpt swa(swa_cfg, rng2);
+  Adam opt2(swa.parameters());
+  Rng d2(34);
+  auto swa_rec = train_lm(swa, opt2, corpus, tc, d2);
+
+  EXPECT_NEAR(swa_rec.final_loss, full_rec.final_loss, 0.5);
+}
+
+TEST(Training, RecordTracksTokens) {
+  Rng rng(35);
+  auto cfg = tiny_config();
+  TinyGpt model(cfg, rng);
+  MarkovCorpus corpus(cfg.vocab, 3, 36);
+  Sgd opt(model.parameters());
+  TrainConfig tc;
+  tc.steps = 10;
+  tc.batch_size = 2;
+  Rng data_rng(37);
+  auto record = train_lm(model, opt, corpus, tc, data_rng);
+  EXPECT_DOUBLE_EQ(record.tokens_consumed, 10.0 * 2 * cfg.seq_len);
+  EXPECT_FALSE(record.loss_vs_tokens.x.empty());
+}
+
+// ------------------------------------------------------------ loss model
+
+TEST(ScalingLaw, LossDecreasesWithTokens) {
+  ScalingLawLoss law;
+  const double early = law.loss_at(1e9);
+  const double late = law.loss_at(1e12);
+  EXPECT_GT(early, late);
+  EXPECT_GT(late, 1.5);  // above the floor
+}
+
+TEST(ScalingLaw, DeterministicPerSeed) {
+  ScalingLawLoss a(1.7, 12.0, 0.12, 1e9, 42);
+  ScalingLawLoss b(1.7, 12.0, 0.12, 1e9, 42);
+  for (double t : {1e9, 5e9, 2e10}) {
+    EXPECT_DOUBLE_EQ(a.loss_at(t), b.loss_at(t));
+  }
+}
+
+}  // namespace
+}  // namespace ms::optim

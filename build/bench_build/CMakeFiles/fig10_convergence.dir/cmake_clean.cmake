@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_convergence"
+  "../bench/fig10_convergence.pdb"
+  "CMakeFiles/fig10_convergence.dir/fig10_convergence.cpp.o"
+  "CMakeFiles/fig10_convergence.dir/fig10_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

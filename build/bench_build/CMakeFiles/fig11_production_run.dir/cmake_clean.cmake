@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_production_run"
+  "../bench/fig11_production_run.pdb"
+  "CMakeFiles/fig11_production_run.dir/fig11_production_run.cpp.o"
+  "CMakeFiles/fig11_production_run.dir/fig11_production_run.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_production_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

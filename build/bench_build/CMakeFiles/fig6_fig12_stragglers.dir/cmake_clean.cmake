@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_fig12_stragglers"
+  "../bench/fig6_fig12_stragglers.pdb"
+  "CMakeFiles/fig6_fig12_stragglers.dir/fig6_fig12_stragglers.cpp.o"
+  "CMakeFiles/fig6_fig12_stragglers.dir/fig6_fig12_stragglers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fig12_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_operators"
+  "../bench/micro_operators.pdb"
+  "CMakeFiles/micro_operators.dir/micro_operators.cpp.o"
+  "CMakeFiles/micro_operators.dir/micro_operators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec34_data_pipeline"
+  "../bench/sec34_data_pipeline.pdb"
+  "CMakeFiles/sec34_data_pipeline.dir/sec34_data_pipeline.cpp.o"
+  "CMakeFiles/sec34_data_pipeline.dir/sec34_data_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec34_data_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec35_init_time.cpp" "bench_build/CMakeFiles/sec35_init_time.dir/sec35_init_time.cpp.o" "gcc" "bench_build/CMakeFiles/sec35_init_time.dir/sec35_init_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collective/CMakeFiles/ms_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

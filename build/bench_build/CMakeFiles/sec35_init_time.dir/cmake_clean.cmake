@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec35_init_time"
+  "../bench/sec35_init_time.pdb"
+  "CMakeFiles/sec35_init_time.dir/sec35_init_time.cpp.o"
+  "CMakeFiles/sec35_init_time.dir/sec35_init_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec35_init_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec35_init_time.
+# This may be replaced when dependencies are built.

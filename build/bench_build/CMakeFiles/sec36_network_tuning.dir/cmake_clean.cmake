@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec36_network_tuning"
+  "../bench/sec36_network_tuning.pdb"
+  "CMakeFiles/sec36_network_tuning.dir/sec36_network_tuning.cpp.o"
+  "CMakeFiles/sec36_network_tuning.dir/sec36_network_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec36_network_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec43_diagnostics"
+  "../bench/sec43_diagnostics.pdb"
+  "CMakeFiles/sec43_diagnostics.dir/sec43_diagnostics.cpp.o"
+  "CMakeFiles/sec43_diagnostics.dir/sec43_diagnostics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec44_checkpoint"
+  "../bench/sec44_checkpoint.pdb"
+  "CMakeFiles/sec44_checkpoint.dir/sec44_checkpoint.cpp.o"
+  "CMakeFiles/sec44_checkpoint.dir/sec44_checkpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec5_observability"
+  "../bench/sec5_observability.pdb"
+  "CMakeFiles/sec5_observability.dir/sec5_observability.cpp.o"
+  "CMakeFiles/sec5_observability.dir/sec5_observability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

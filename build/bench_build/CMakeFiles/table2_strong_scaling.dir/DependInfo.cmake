@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_strong_scaling.cpp" "bench_build/CMakeFiles/table2_strong_scaling.dir/table2_strong_scaling.cpp.o" "gcc" "bench_build/CMakeFiles/table2_strong_scaling.dir/table2_strong_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ms_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ms_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ms_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_strong_scaling"
+  "../bench/table2_strong_scaling.pdb"
+  "CMakeFiles/table2_strong_scaling.dir/table2_strong_scaling.cpp.o"
+  "CMakeFiles/table2_strong_scaling.dir/table2_strong_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_ablation"
+  "../bench/table3_ablation.pdb"
+  "CMakeFiles/table3_ablation.dir/table3_ablation.cpp.o"
+  "CMakeFiles/table3_ablation.dir/table3_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

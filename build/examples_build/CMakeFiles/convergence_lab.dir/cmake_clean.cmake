@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/convergence_lab"
+  "../examples/convergence_lab.pdb"
+  "CMakeFiles/convergence_lab.dir/convergence_lab.cpp.o"
+  "CMakeFiles/convergence_lab.dir/convergence_lab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

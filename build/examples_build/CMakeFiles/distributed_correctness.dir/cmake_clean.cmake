@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/distributed_correctness"
+  "../examples/distributed_correctness.pdb"
+  "CMakeFiles/distributed_correctness.dir/distributed_correctness.cpp.o"
+  "CMakeFiles/distributed_correctness.dir/distributed_correctness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/production_training"
+  "../examples/production_training.pdb"
+  "CMakeFiles/production_training.dir/production_training.cpp.o"
+  "CMakeFiles/production_training.dir/production_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/straggler_hunt"
+  "../examples/straggler_hunt.pdb"
+  "CMakeFiles/straggler_hunt.dir/straggler_hunt.cpp.o"
+  "CMakeFiles/straggler_hunt.dir/straggler_hunt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("sim")
+subdirs("net")
+subdirs("collective")
+subdirs("model")
+subdirs("parallel")
+subdirs("engine")
+subdirs("data")
+subdirs("optim")
+subdirs("ft")
+subdirs("diag")
+subdirs("dist")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/bootstrap.cpp" "src/collective/CMakeFiles/ms_collective.dir/bootstrap.cpp.o" "gcc" "src/collective/CMakeFiles/ms_collective.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/collective/comm.cpp" "src/collective/CMakeFiles/ms_collective.dir/comm.cpp.o" "gcc" "src/collective/CMakeFiles/ms_collective.dir/comm.cpp.o.d"
+  "/root/repo/src/collective/kvstore.cpp" "src/collective/CMakeFiles/ms_collective.dir/kvstore.cpp.o" "gcc" "src/collective/CMakeFiles/ms_collective.dir/kvstore.cpp.o.d"
+  "/root/repo/src/collective/plan.cpp" "src/collective/CMakeFiles/ms_collective.dir/plan.cpp.o" "gcc" "src/collective/CMakeFiles/ms_collective.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_collective.dir/bootstrap.cpp.o"
+  "CMakeFiles/ms_collective.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/ms_collective.dir/comm.cpp.o"
+  "CMakeFiles/ms_collective.dir/comm.cpp.o.d"
+  "CMakeFiles/ms_collective.dir/kvstore.cpp.o"
+  "CMakeFiles/ms_collective.dir/kvstore.cpp.o.d"
+  "CMakeFiles/ms_collective.dir/plan.cpp.o"
+  "CMakeFiles/ms_collective.dir/plan.cpp.o.d"
+  "libms_collective.a"
+  "libms_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_core.dir/log.cpp.o"
+  "CMakeFiles/ms_core.dir/log.cpp.o.d"
+  "CMakeFiles/ms_core.dir/rng.cpp.o"
+  "CMakeFiles/ms_core.dir/rng.cpp.o.d"
+  "CMakeFiles/ms_core.dir/stats.cpp.o"
+  "CMakeFiles/ms_core.dir/stats.cpp.o.d"
+  "CMakeFiles/ms_core.dir/table.cpp.o"
+  "CMakeFiles/ms_core.dir/table.cpp.o.d"
+  "CMakeFiles/ms_core.dir/time.cpp.o"
+  "CMakeFiles/ms_core.dir/time.cpp.o.d"
+  "libms_core.a"
+  "libms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

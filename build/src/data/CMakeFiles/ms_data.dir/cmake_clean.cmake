@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_data.dir/pipeline.cpp.o"
+  "CMakeFiles/ms_data.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ms_data.dir/shm.cpp.o"
+  "CMakeFiles/ms_data.dir/shm.cpp.o.d"
+  "libms_data.a"
+  "libms_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

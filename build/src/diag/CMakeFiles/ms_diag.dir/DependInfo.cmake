@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diag/heatmap.cpp" "src/diag/CMakeFiles/ms_diag.dir/heatmap.cpp.o" "gcc" "src/diag/CMakeFiles/ms_diag.dir/heatmap.cpp.o.d"
+  "/root/repo/src/diag/skew.cpp" "src/diag/CMakeFiles/ms_diag.dir/skew.cpp.o" "gcc" "src/diag/CMakeFiles/ms_diag.dir/skew.cpp.o.d"
+  "/root/repo/src/diag/stream.cpp" "src/diag/CMakeFiles/ms_diag.dir/stream.cpp.o" "gcc" "src/diag/CMakeFiles/ms_diag.dir/stream.cpp.o.d"
+  "/root/repo/src/diag/timeline.cpp" "src/diag/CMakeFiles/ms_diag.dir/timeline.cpp.o" "gcc" "src/diag/CMakeFiles/ms_diag.dir/timeline.cpp.o.d"
+  "/root/repo/src/diag/viz3d.cpp" "src/diag/CMakeFiles/ms_diag.dir/viz3d.cpp.o" "gcc" "src/diag/CMakeFiles/ms_diag.dir/viz3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/ms_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ms_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_diag.dir/heatmap.cpp.o"
+  "CMakeFiles/ms_diag.dir/heatmap.cpp.o.d"
+  "CMakeFiles/ms_diag.dir/skew.cpp.o"
+  "CMakeFiles/ms_diag.dir/skew.cpp.o.d"
+  "CMakeFiles/ms_diag.dir/stream.cpp.o"
+  "CMakeFiles/ms_diag.dir/stream.cpp.o.d"
+  "CMakeFiles/ms_diag.dir/timeline.cpp.o"
+  "CMakeFiles/ms_diag.dir/timeline.cpp.o.d"
+  "CMakeFiles/ms_diag.dir/viz3d.cpp.o"
+  "CMakeFiles/ms_diag.dir/viz3d.cpp.o.d"
+  "libms_diag.a"
+  "libms_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/collectives.cpp" "src/dist/CMakeFiles/ms_dist.dir/collectives.cpp.o" "gcc" "src/dist/CMakeFiles/ms_dist.dir/collectives.cpp.o.d"
+  "/root/repo/src/dist/data_parallel.cpp" "src/dist/CMakeFiles/ms_dist.dir/data_parallel.cpp.o" "gcc" "src/dist/CMakeFiles/ms_dist.dir/data_parallel.cpp.o.d"
+  "/root/repo/src/dist/tensor_parallel.cpp" "src/dist/CMakeFiles/ms_dist.dir/tensor_parallel.cpp.o" "gcc" "src/dist/CMakeFiles/ms_dist.dir/tensor_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/ms_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ms_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

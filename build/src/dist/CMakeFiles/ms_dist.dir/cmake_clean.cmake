@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_dist.dir/collectives.cpp.o"
+  "CMakeFiles/ms_dist.dir/collectives.cpp.o.d"
+  "CMakeFiles/ms_dist.dir/data_parallel.cpp.o"
+  "CMakeFiles/ms_dist.dir/data_parallel.cpp.o.d"
+  "CMakeFiles/ms_dist.dir/tensor_parallel.cpp.o"
+  "CMakeFiles/ms_dist.dir/tensor_parallel.cpp.o.d"
+  "libms_dist.a"
+  "libms_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

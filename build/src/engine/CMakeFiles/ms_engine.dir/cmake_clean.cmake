@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_engine.dir/job.cpp.o"
+  "CMakeFiles/ms_engine.dir/job.cpp.o.d"
+  "CMakeFiles/ms_engine.dir/perturb.cpp.o"
+  "CMakeFiles/ms_engine.dir/perturb.cpp.o.d"
+  "libms_engine.a"
+  "libms_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ft/checkpoint.cpp" "src/ft/CMakeFiles/ms_ft.dir/checkpoint.cpp.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ft/ckpt_writer.cpp" "src/ft/CMakeFiles/ms_ft.dir/ckpt_writer.cpp.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/ckpt_writer.cpp.o.d"
+  "/root/repo/src/ft/diagnostics.cpp" "src/ft/CMakeFiles/ms_ft.dir/diagnostics.cpp.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/ft/driver_sim.cpp" "src/ft/CMakeFiles/ms_ft.dir/driver_sim.cpp.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/driver_sim.cpp.o.d"
+  "/root/repo/src/ft/faults.cpp" "src/ft/CMakeFiles/ms_ft.dir/faults.cpp.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/faults.cpp.o.d"
+  "/root/repo/src/ft/monitor.cpp" "src/ft/CMakeFiles/ms_ft.dir/monitor.cpp.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/monitor.cpp.o.d"
+  "/root/repo/src/ft/workflow.cpp" "src/ft/CMakeFiles/ms_ft.dir/workflow.cpp.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

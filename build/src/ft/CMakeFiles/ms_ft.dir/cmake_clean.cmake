@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_ft.dir/checkpoint.cpp.o"
+  "CMakeFiles/ms_ft.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ms_ft.dir/ckpt_writer.cpp.o"
+  "CMakeFiles/ms_ft.dir/ckpt_writer.cpp.o.d"
+  "CMakeFiles/ms_ft.dir/diagnostics.cpp.o"
+  "CMakeFiles/ms_ft.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/ms_ft.dir/driver_sim.cpp.o"
+  "CMakeFiles/ms_ft.dir/driver_sim.cpp.o.d"
+  "CMakeFiles/ms_ft.dir/faults.cpp.o"
+  "CMakeFiles/ms_ft.dir/faults.cpp.o.d"
+  "CMakeFiles/ms_ft.dir/monitor.cpp.o"
+  "CMakeFiles/ms_ft.dir/monitor.cpp.o.d"
+  "CMakeFiles/ms_ft.dir/workflow.cpp.o"
+  "CMakeFiles/ms_ft.dir/workflow.cpp.o.d"
+  "libms_ft.a"
+  "libms_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

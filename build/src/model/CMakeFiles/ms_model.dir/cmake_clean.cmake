@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_model.dir/memory.cpp.o"
+  "CMakeFiles/ms_model.dir/memory.cpp.o.d"
+  "CMakeFiles/ms_model.dir/ops.cpp.o"
+  "CMakeFiles/ms_model.dir/ops.cpp.o.d"
+  "CMakeFiles/ms_model.dir/transformer.cpp.o"
+  "CMakeFiles/ms_model.dir/transformer.cpp.o.d"
+  "libms_model.a"
+  "libms_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ccsim.cpp" "src/net/CMakeFiles/ms_net.dir/ccsim.cpp.o" "gcc" "src/net/CMakeFiles/ms_net.dir/ccsim.cpp.o.d"
+  "/root/repo/src/net/ccsim_multi.cpp" "src/net/CMakeFiles/ms_net.dir/ccsim_multi.cpp.o" "gcc" "src/net/CMakeFiles/ms_net.dir/ccsim_multi.cpp.o.d"
+  "/root/repo/src/net/ecmp.cpp" "src/net/CMakeFiles/ms_net.dir/ecmp.cpp.o" "gcc" "src/net/CMakeFiles/ms_net.dir/ecmp.cpp.o.d"
+  "/root/repo/src/net/flap.cpp" "src/net/CMakeFiles/ms_net.dir/flap.cpp.o" "gcc" "src/net/CMakeFiles/ms_net.dir/flap.cpp.o.d"
+  "/root/repo/src/net/flowsim.cpp" "src/net/CMakeFiles/ms_net.dir/flowsim.cpp.o" "gcc" "src/net/CMakeFiles/ms_net.dir/flowsim.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/ms_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/ms_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

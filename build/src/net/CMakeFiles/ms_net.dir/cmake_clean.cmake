@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_net.dir/ccsim.cpp.o"
+  "CMakeFiles/ms_net.dir/ccsim.cpp.o.d"
+  "CMakeFiles/ms_net.dir/ccsim_multi.cpp.o"
+  "CMakeFiles/ms_net.dir/ccsim_multi.cpp.o.d"
+  "CMakeFiles/ms_net.dir/ecmp.cpp.o"
+  "CMakeFiles/ms_net.dir/ecmp.cpp.o.d"
+  "CMakeFiles/ms_net.dir/flap.cpp.o"
+  "CMakeFiles/ms_net.dir/flap.cpp.o.d"
+  "CMakeFiles/ms_net.dir/flowsim.cpp.o"
+  "CMakeFiles/ms_net.dir/flowsim.cpp.o.d"
+  "CMakeFiles/ms_net.dir/topology.cpp.o"
+  "CMakeFiles/ms_net.dir/topology.cpp.o.d"
+  "libms_net.a"
+  "libms_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

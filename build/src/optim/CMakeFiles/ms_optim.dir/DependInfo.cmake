@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/autograd.cpp" "src/optim/CMakeFiles/ms_optim.dir/autograd.cpp.o" "gcc" "src/optim/CMakeFiles/ms_optim.dir/autograd.cpp.o.d"
+  "/root/repo/src/optim/nn.cpp" "src/optim/CMakeFiles/ms_optim.dir/nn.cpp.o" "gcc" "src/optim/CMakeFiles/ms_optim.dir/nn.cpp.o.d"
+  "/root/repo/src/optim/optimizers.cpp" "src/optim/CMakeFiles/ms_optim.dir/optimizers.cpp.o" "gcc" "src/optim/CMakeFiles/ms_optim.dir/optimizers.cpp.o.d"
+  "/root/repo/src/optim/schedule.cpp" "src/optim/CMakeFiles/ms_optim.dir/schedule.cpp.o" "gcc" "src/optim/CMakeFiles/ms_optim.dir/schedule.cpp.o.d"
+  "/root/repo/src/optim/trainer.cpp" "src/optim/CMakeFiles/ms_optim.dir/trainer.cpp.o" "gcc" "src/optim/CMakeFiles/ms_optim.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_optim.dir/autograd.cpp.o"
+  "CMakeFiles/ms_optim.dir/autograd.cpp.o.d"
+  "CMakeFiles/ms_optim.dir/nn.cpp.o"
+  "CMakeFiles/ms_optim.dir/nn.cpp.o.d"
+  "CMakeFiles/ms_optim.dir/optimizers.cpp.o"
+  "CMakeFiles/ms_optim.dir/optimizers.cpp.o.d"
+  "CMakeFiles/ms_optim.dir/schedule.cpp.o"
+  "CMakeFiles/ms_optim.dir/schedule.cpp.o.d"
+  "CMakeFiles/ms_optim.dir/trainer.cpp.o"
+  "CMakeFiles/ms_optim.dir/trainer.cpp.o.d"
+  "libms_optim.a"
+  "libms_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/mapping.cpp" "src/parallel/CMakeFiles/ms_parallel.dir/mapping.cpp.o" "gcc" "src/parallel/CMakeFiles/ms_parallel.dir/mapping.cpp.o.d"
+  "/root/repo/src/parallel/pipeline.cpp" "src/parallel/CMakeFiles/ms_parallel.dir/pipeline.cpp.o" "gcc" "src/parallel/CMakeFiles/ms_parallel.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/collective/CMakeFiles/ms_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

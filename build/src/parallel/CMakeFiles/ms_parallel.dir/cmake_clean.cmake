@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_parallel.dir/mapping.cpp.o"
+  "CMakeFiles/ms_parallel.dir/mapping.cpp.o.d"
+  "CMakeFiles/ms_parallel.dir/pipeline.cpp.o"
+  "CMakeFiles/ms_parallel.dir/pipeline.cpp.o.d"
+  "libms_parallel.a"
+  "libms_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

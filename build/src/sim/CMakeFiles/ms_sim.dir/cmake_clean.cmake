@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_sim.dir/engine.cpp.o"
+  "CMakeFiles/ms_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ms_sim.dir/graph.cpp.o"
+  "CMakeFiles/ms_sim.dir/graph.cpp.o.d"
+  "libms_sim.a"
+  "libms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

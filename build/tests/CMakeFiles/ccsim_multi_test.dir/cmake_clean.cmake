@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_multi_test.dir/ccsim_multi_test.cpp.o"
+  "CMakeFiles/ccsim_multi_test.dir/ccsim_multi_test.cpp.o.d"
+  "ccsim_multi_test"
+  "ccsim_multi_test.pdb"
+  "ccsim_multi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_multi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

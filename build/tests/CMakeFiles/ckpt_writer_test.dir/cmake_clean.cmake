@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_writer_test.dir/ckpt_writer_test.cpp.o"
+  "CMakeFiles/ckpt_writer_test.dir/ckpt_writer_test.cpp.o.d"
+  "ckpt_writer_test"
+  "ckpt_writer_test.pdb"
+  "ckpt_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

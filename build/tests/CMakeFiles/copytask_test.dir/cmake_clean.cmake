@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copytask_test.dir/copytask_test.cpp.o"
+  "CMakeFiles/copytask_test.dir/copytask_test.cpp.o.d"
+  "copytask_test"
+  "copytask_test.pdb"
+  "copytask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copytask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_sim_test.dir/driver_sim_test.cpp.o"
+  "CMakeFiles/driver_sim_test.dir/driver_sim_test.cpp.o.d"
+  "driver_sim_test"
+  "driver_sim_test.pdb"
+  "driver_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,7 +1,10 @@
 // Reproduces §5 (Figures 7 and 8): the observability toolkit in action.
 //   * Figure 7: per-machine performance heat map with straggler marking,
 //     and the 3D-parallel visualization of a selected rank;
-//   * Figure 8: unified pipeline timeline built from the engine's spans;
+//   * Figure 8: unified pipeline timeline built from the engine's spans —
+//     now routed through the telemetry tracer instead of ad-hoc copies;
+//   * the per-step TrainingDashboard report rolling the same data up;
+//   * the exporters: Prometheus text, JSONL event log, Chrome trace;
 //   * §5.2 case study: hang localization from "who logged a blocked op".
 #include <cmath>
 #include <cstdio>
@@ -12,11 +15,19 @@
 #include "diag/timeline.h"
 #include "diag/viz3d.h"
 #include "engine/perturb.h"
+#include "telemetry/dashboard.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 using namespace ms;
 
 int main() {
   std::printf("=== §5: deep observability ===\n\n");
+
+  telemetry::MetricsRegistry registry;
+  telemetry::Tracer tracer;
+  telemetry::TrainingDashboard dashboard(&registry);
 
   // ---------------- Figure 7: heat map ----------------
   std::printf("--- Figure 7: performance heat map (64 machines) ---\n");
@@ -29,8 +40,13 @@ int main() {
   for (int machine = 0; machine < 64; ++machine) {
     for (int step = 0; step < 30; ++step) {
       const double noise = 1.0 + 0.004 * rng.normal();
-      heatmap.add_sample(machine, "fwd", 0.0104 * speeds[machine] * noise);
-      heatmap.add_sample(machine, "bwd", 0.0209 * speeds[machine] * noise);
+      const double fwd = 0.0104 * speeds[machine] * noise;
+      const double bwd = 0.0209 * speeds[machine] * noise;
+      heatmap.add_sample(machine, "fwd", fwd);
+      heatmap.add_sample(machine, "bwd", bwd);
+      // Same CUDA-event stream feeds the dashboard's straggler view.
+      dashboard.add_machine_sample(machine, "fwd", fwd);
+      dashboard.add_machine_sample(machine, "bwd", bwd);
     }
   }
   const auto outliers = heatmap.outliers(0.05);
@@ -48,21 +64,14 @@ int main() {
   cfg.global_batch = 8;
   cfg.ops = model::OperatorProfile::megascale();
   cfg.overlap = engine::OverlapOptions::megascale();
+  cfg.tracer = &tracer;     // engine spans land in the telemetry sink
+  cfg.metrics = &registry;  // per-op counters/histograms alongside
   const auto iter = engine::simulate_iteration(cfg);
 
-  diag::TimelineTrace trace;
-  for (const auto& rec : iter.spans) {
-    if (rec.tag != "fwd" && rec.tag != "bwd" && rec.tag != "optimizer") {
-      continue;  // keep the lanes readable: compute + optimizer only
-    }
-    diag::TraceSpan span;
-    span.rank = rec.stream / 4;  // 4 streams per pipeline stage
-    span.name = rec.name;
-    span.tag = rec.tag;
-    span.start = rec.start;
-    span.end = rec.end;
-    trace.add(span);
-  }
+  // Keep the lanes readable: compute + optimizer only.
+  const auto trace = tracer.timeline([](const diag::TraceSpan& s) {
+    return s.tag == "fwd" || s.tag == "bwd" || s.tag == "optimizer";
+  });
   std::printf("%s\n",
               trace.render(0, iter.iteration_time, 100).c_str());
   for (int stage = 0; stage < 4; ++stage) {
@@ -72,8 +81,38 @@ int main() {
                     .c_str());
   }
 
+  // ---------------- per-step dashboard ----------------
+  std::printf("\n--- per-step training dashboard ---\n");
+  dashboard.record_step(cfg, iter);
+  std::printf("%s\n", dashboard.report().c_str());
+
+  // ---------------- exporters ----------------
+  std::printf("--- exporters: one substrate, three wire formats ---\n");
+  const auto snapshot = registry.snapshot();
+  const std::string prom = telemetry::prometheus_text(snapshot);
+  const std::string jsonl = telemetry::jsonl_metrics(snapshot) +
+                            telemetry::jsonl_spans(tracer.spans());
+  const std::string chrome = telemetry::chrome_trace(tracer);
+  std::printf("Prometheus text: %zu bytes over %zu series; sample lines:\n",
+              prom.size(), snapshot.samples.size());
+  int printed = 0;
+  for (std::size_t pos = 0; pos < prom.size() && printed < 6;) {
+    std::size_t eol = prom.find('\n', pos);
+    if (eol == std::string::npos) eol = prom.size();
+    const std::string line = prom.substr(pos, eol - pos);
+    if (line.rfind("engine_", 0) == 0 || line.rfind("dashboard_", 0) == 0) {
+      std::printf("  %s\n", line.c_str());
+      ++printed;
+    }
+    pos = eol + 1;
+  }
+  std::printf("JSONL event log: %zu bytes (%zu spans + metric samples)\n",
+              jsonl.size(), tracer.size());
+  std::printf("Chrome trace JSON: %zu bytes -> chrome://tracing\n\n",
+              chrome.size());
+
   // ---------------- §5.2: 3D visualization + hang localization ----------
-  std::printf("\n--- 3D parallel visualization (rank 20 of tp8 x dp2 x pp2) ---\n");
+  std::printf("--- 3D parallel visualization (rank 20 of tp8 x dp2 x pp2) ---\n");
   parallel::ParallelConfig par3d{.tp = 8, .pp = 2, .dp = 2};
   diag::Parallel3DVisualizer viz(par3d);
   std::printf("%s\n", viz.describe(20).c_str());

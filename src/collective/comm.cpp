@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/metrics.h"
+
 namespace ms::collective {
 
 CollectiveModel::CollectiveModel(const ClusterSpec& cluster,
@@ -32,13 +34,28 @@ TimeNs transfer_time(double bytes, Bandwidth bw) {
 }
 }  // namespace
 
+void CollectiveModel::record(const char* op, Domain domain, Bytes bytes,
+                             TimeNs t) const {
+  if (metrics_ == nullptr) return;
+  const telemetry::Labels labels{
+      {"op", op},
+      {"domain", domain == Domain::kIntraNode ? "intra" : "inter"}};
+  metrics_->counter("collective_calls_total", labels).add();
+  metrics_->counter("collective_bytes_total", labels)
+      .add(static_cast<double>(bytes));
+  metrics_->histogram("collective_latency_seconds", labels)
+      .observe(to_seconds(t));
+}
+
 TimeNs CollectiveModel::all_reduce(Bytes bytes, int ranks, Domain domain) const {
   assert(ranks >= 1 && bytes >= 0);
   if (ranks == 1 || bytes == 0) return 0;
   const double n = ranks;
   const double payload = 2.0 * (n - 1.0) / n * static_cast<double>(bytes);
-  return transfer_time(payload, bandwidth(domain)) +
-         2 * (ranks - 1) * latency(domain);
+  const TimeNs t = transfer_time(payload, bandwidth(domain)) +
+                   2 * (ranks - 1) * latency(domain);
+  record("allreduce", domain, bytes, t);
+  return t;
 }
 
 TimeNs CollectiveModel::all_gather(Bytes bytes, int ranks, Domain domain) const {
@@ -46,13 +63,22 @@ TimeNs CollectiveModel::all_gather(Bytes bytes, int ranks, Domain domain) const 
   if (ranks == 1 || bytes == 0) return 0;
   const double n = ranks;
   const double payload = (n - 1.0) / n * static_cast<double>(bytes);
-  return transfer_time(payload, bandwidth(domain)) +
-         (ranks - 1) * latency(domain);
+  const TimeNs t = transfer_time(payload, bandwidth(domain)) +
+                   (ranks - 1) * latency(domain);
+  record("allgather", domain, bytes, t);
+  return t;
 }
 
 TimeNs CollectiveModel::reduce_scatter(Bytes bytes, int ranks,
                                        Domain domain) const {
-  return all_gather(bytes, ranks, domain);
+  assert(ranks >= 1 && bytes >= 0);
+  if (ranks == 1 || bytes == 0) return 0;
+  const double n = ranks;
+  const double payload = (n - 1.0) / n * static_cast<double>(bytes);
+  const TimeNs t = transfer_time(payload, bandwidth(domain)) +
+                   (ranks - 1) * latency(domain);
+  record("reducescatter", domain, bytes, t);
+  return t;
 }
 
 TimeNs CollectiveModel::all_to_all(Bytes bytes, int ranks, Domain domain) const {
@@ -60,15 +86,19 @@ TimeNs CollectiveModel::all_to_all(Bytes bytes, int ranks, Domain domain) const 
   if (ranks == 1 || bytes == 0) return 0;
   const double n = ranks;
   const double payload = (n - 1.0) / n * static_cast<double>(bytes);
-  return transfer_time(payload, bandwidth(domain)) +
-         (ranks - 1) * latency(domain);
+  const TimeNs t = transfer_time(payload, bandwidth(domain)) +
+                   (ranks - 1) * latency(domain);
+  record("alltoall", domain, bytes, t);
+  return t;
 }
 
 TimeNs CollectiveModel::send_recv(Bytes bytes, Domain domain) const {
   assert(bytes >= 0);
   if (bytes == 0) return 0;
-  return transfer_time(static_cast<double>(bytes), bandwidth(domain)) +
-         latency(domain);
+  const TimeNs t = transfer_time(static_cast<double>(bytes), bandwidth(domain)) +
+                   latency(domain);
+  record("sendrecv", domain, bytes, t);
+  return t;
 }
 
 TimeNs CollectiveModel::hierarchical_all_reduce(Bytes bytes, int nodes,
@@ -86,8 +116,10 @@ TimeNs CollectiveModel::hierarchical_all_reduce(Bytes bytes, int nodes,
 TimeNs CollectiveModel::broadcast(Bytes bytes, int ranks, Domain domain) const {
   assert(ranks >= 1 && bytes >= 0);
   if (ranks == 1 || bytes == 0) return 0;
-  return transfer_time(static_cast<double>(bytes), bandwidth(domain)) +
-         (ranks - 1) * latency(domain);
+  const TimeNs t = transfer_time(static_cast<double>(bytes), bandwidth(domain)) +
+                   (ranks - 1) * latency(domain);
+  record("broadcast", domain, bytes, t);
+  return t;
 }
 
 }  // namespace ms::collective

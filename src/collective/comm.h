@@ -12,6 +12,10 @@
 #include "core/time.h"
 #include "core/units.h"
 
+namespace ms::telemetry {
+class MetricsRegistry;
+}  // namespace ms::telemetry
+
 namespace ms::collective {
 
 /// Per-GPU device characteristics (defaults: NVIDIA A100-like, the paper's
@@ -52,6 +56,12 @@ class CollectiveModel {
   const ClusterSpec& cluster() const { return cluster_; }
   double network_efficiency() const { return network_efficiency_; }
 
+  /// Optional telemetry (not owned; nullptr disables). Every cost query
+  /// records `collective_calls_total` / `collective_bytes_total` counters
+  /// and a `collective_latency_seconds` histogram, labeled
+  /// {op=<collective>, domain=intra|inter}.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Ring all-reduce over `ranks` participants of `bytes` payload:
   /// 2*(n-1)/n * S/B + 2*(n-1)*alpha.
   TimeNs all_reduce(Bytes bytes, int ranks, Domain domain) const;
@@ -86,8 +96,11 @@ class CollectiveModel {
   TimeNs latency(Domain domain) const;
 
  private:
+  void record(const char* op, Domain domain, Bytes bytes, TimeNs t) const;
+
   ClusterSpec cluster_;
   double network_efficiency_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace ms::collective

@@ -5,18 +5,29 @@
 // bench output stays clean.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+
+#include "core/time.h"
 
 namespace ms {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are discarded.
+/// Global threshold; messages below it are discarded. Both accessors are
+/// atomic, so worker threads may log while another thread flips the level.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emits one line to stderr: "[LEVEL] message".
+/// Optional timestamp hook: when set, every line carries the provider's
+/// current time, e.g. "[INFO] [1.250s] message". Simulations install
+/// `[&engine] { return engine.now(); }` so log lines line up with the
+/// discrete-event clock. Pass nullptr to remove. Thread-safe.
+void set_log_timestamp_provider(std::function<TimeNs()> provider);
+
+/// Emits one line to stderr: "[LEVEL] message" (plus the timestamp prefix
+/// when a provider is installed).
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

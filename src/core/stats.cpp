@@ -50,6 +50,82 @@ double Percentiles::quantile(double q) const {
   return values_[lo] * (1.0 - frac) + values_[hi] * frac;
 }
 
+// --------------------------------------------------------- HdrHistogram
+
+HdrHistogram::HdrHistogram()
+    : counts_(static_cast<std::size_t>(kBucketsPerDecade) * kDecades, 0) {}
+
+std::size_t HdrHistogram::bucket_index(double x) {
+  const double pos = std::log10(x / kRangeLo) * kBucketsPerDecade;
+  // Clamp: floating rounding near the range edges must not step outside.
+  constexpr std::size_t kLast =
+      static_cast<std::size_t>(kBucketsPerDecade) * kDecades - 1;
+  return std::min(static_cast<std::size_t>(std::max(pos, 0.0)), kLast);
+}
+
+double HdrHistogram::bucket_lo(std::size_t i) {
+  return kRangeLo *
+         std::pow(10.0, static_cast<double>(i) / kBucketsPerDecade);
+}
+
+void HdrHistogram::add(double x, std::uint64_t count) {
+  if (count == 0) return;
+  total_ += count;
+  sum_ += x * static_cast<double>(count);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  if (!(x >= kRangeLo)) {  // includes NaN, <= 0 and tiny values
+    underflow_ += count;
+  } else if (x >= kRangeHi) {
+    overflow_ += count;
+  } else {
+    counts_[bucket_index(x)] += count;
+  }
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double HdrHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (target <= seen && underflow_ > 0) return min_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = seen + static_cast<double>(counts_[i]);
+    if (target <= next) {
+      const double frac = (target - seen) / static_cast<double>(counts_[i]);
+      const double lo = bucket_lo(i), hi = bucket_lo(i + 1);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::vector<HdrHistogram::Bucket> HdrHistogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  if (underflow_ > 0) out.push_back({0.0, kRangeLo, underflow_});
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back({bucket_lo(i), bucket_lo(i + 1), counts_[i]});
+  }
+  if (overflow_ > 0) {
+    out.push_back({kRangeHi, std::numeric_limits<double>::infinity(),
+                   overflow_});
+  }
+  return out;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {
   assert(hi > lo && buckets > 0);

@@ -73,6 +73,55 @@ class Histogram {
   std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
 };
 
+/// Fixed-layout HDR-style histogram sketch: geometric buckets spanning
+/// [1e-9, 1e12) at a fixed resolution per decade, so every instance shares
+/// the same bucket boundaries and per-rank sketches merge with a plain
+/// element-wise add (the property the telemetry registry relies on).
+/// Values <= 0 or below the range land in an underflow bucket; values above
+/// it in an overflow bucket. Quantiles interpolate inside the winning
+/// bucket, giving a bounded relative error of one bucket width (~7%).
+class HdrHistogram {
+ public:
+  static constexpr double kRangeLo = 1e-9;
+  static constexpr double kRangeHi = 1e12;
+  static constexpr int kBucketsPerDecade = 32;
+  static constexpr int kDecades = 21;  // log10(kRangeHi / kRangeLo)
+
+  HdrHistogram();
+
+  void add(double x, std::uint64_t count = 1);
+  void merge(const HdrHistogram& other);
+
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+  double min() const { return total_ ? min_ : 0.0; }
+  double max() const { return total_ ? max_ : 0.0; }
+
+  /// q in [0, 1]; value interpolated within the bucket holding that rank.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
+
+  /// Non-empty buckets in ascending value order (exporter iteration).
+  struct Bucket {
+    double lo = 0, hi = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> nonzero_buckets() const;
+
+ private:
+  static std::size_t bucket_index(double x);
+  static double bucket_lo(std::size_t i);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
 /// A (x, y) series, used for loss curves and MFU-over-time plots.
 struct Series {
   std::string name;

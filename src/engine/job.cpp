@@ -9,6 +9,8 @@
 #include "parallel/pipeline.h"
 #include "parallel/zero.h"
 #include "sim/engine.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace ms::engine {
 
@@ -16,8 +18,8 @@ namespace {
 
 using parallel::PassType;
 
-/// Stream layout: 4 streams per stage + one data-pipeline stream.
-constexpr int kStreamsPerStage = 4;
+// Stream layout: kStreamsPerStage (job.h) streams per stage + one
+// data-pipeline stream.
 sim::StreamId compute_stream(int s) { return s * kStreamsPerStage + 0; }
 sim::StreamId send_stream(int s) { return s * kStreamsPerStage + 1; }
 sim::StreamId recv_stream(int s) { return s * kStreamsPerStage + 2; }
@@ -72,7 +74,8 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
       par.sequence_parallel ? micro_tokens / par.tp : micro_tokens;
 
   const model::OpCostModel cost(cfg.model, cfg.ops, cfg.cluster.gpu);
-  const collective::CollectiveModel coll(cfg.cluster, cfg.network_efficiency);
+  collective::CollectiveModel coll(cfg.cluster, cfg.network_efficiency);
+  coll.set_metrics(cfg.metrics);
   const parallel::Zero2Sharding zero(model::params_count(cfg.model), par);
 
   // ---- per-layer TP/SP communication (§3.2, Figure 3) ----
@@ -417,6 +420,32 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
         graph.stream_busy(compute_stream(s));
   }
   result.spans = graph.records();
+
+  // ---- telemetry routing (§5: one substrate instead of ad-hoc copies) ----
+  if (cfg.tracer != nullptr) {
+    for (const auto& rec : result.spans) {
+      cfg.tracer->record(stage_of_stream(rec.stream), rec.name, rec.tag,
+                         rec.start, rec.end);
+    }
+  }
+  if (cfg.metrics != nullptr) {
+    auto& m = *cfg.metrics;
+    for (const auto& rec : result.spans) {
+      const telemetry::Labels op_labels{{"op", rec.tag}};
+      m.counter("engine_ops_total", op_labels).add();
+      m.histogram("engine_op_seconds", op_labels)
+          .observe(to_seconds(rec.end - rec.start));
+    }
+    m.counter("engine_iterations_total").add();
+    m.gauge("engine_iteration_seconds").set(iter_s);
+    m.gauge("engine_mfu").set(result.mfu);
+    m.gauge("engine_tokens_per_second").set(result.tokens_per_second);
+    for (int s = 0; s < pp; ++s) {
+      m.gauge("engine_stage_compute_busy_seconds",
+              {{"stage", std::to_string(s)}})
+          .set(to_seconds(result.stage_compute_busy[static_cast<std::size_t>(s)]));
+    }
+  }
   return result;
 }
 

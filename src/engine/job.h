@@ -26,7 +26,22 @@
 #include "parallel/mapping.h"
 #include "sim/graph.h"
 
+namespace ms::telemetry {
+class Tracer;
+class MetricsRegistry;
+}  // namespace ms::telemetry
+
 namespace ms::engine {
+
+/// Stream layout used by simulate_iteration: 4 streams per pipeline stage
+/// (compute, send, recv, dp-comm) plus one trailing data-pipeline stream.
+/// Consumers of IterationResult::spans (timelines, dashboards) use this to
+/// fold streams back onto pipeline stages.
+constexpr int kStreamsPerStage = 4;
+constexpr int stage_of_stream(int stream) { return stream / kStreamsPerStage; }
+constexpr bool is_compute_stream(int stream) {
+  return stream % kStreamsPerStage == 0;
+}
 
 struct OverlapOptions {
   /// §3.2 TP/SP: fuse all-gather/reduce-scatter with FFN GEMM chunks.
@@ -78,6 +93,12 @@ struct JobConfig {
   /// Per-stage compute slowdown factors (straggler injection); empty means
   /// nominal speed. Size must equal par.pp when present.
   std::vector<double> stage_speed;
+  /// Optional telemetry sinks (not owned). When `tracer` is set, every
+  /// executed op is routed through it as a span (rank = pipeline stage);
+  /// when `metrics` is set, per-op histograms, collective call/byte
+  /// counters and iteration-level gauges are recorded.
+  telemetry::Tracer* tracer = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
 
   int gpus() const { return par.world(); }
   int microbatches_per_replica() const { return global_batch / par.dp; }

@@ -1,27 +1,55 @@
 #include "ft/monitor.h"
 
+#include "telemetry/metrics.h"
+
 namespace ms::ft {
+
+namespace {
+const char* alarm_kind_name(AlarmKind kind) {
+  switch (kind) {
+    case AlarmKind::kErrorStatus: return "error-status";
+    case AlarmKind::kLogKeyword: return "log-keyword";
+    case AlarmKind::kRdmaSilence: return "rdma-silence";
+    case AlarmKind::kHeartbeatTimeout: return "heartbeat-timeout";
+  }
+  return "?";
+}
+}  // namespace
+
+void AnomalyDetector::count_alarm(const Alarm& alarm) {
+  if (metrics_ == nullptr) return;
+  metrics_
+      ->counter("ft_alarms_total",
+                {{"kind", alarm_kind_name(alarm.kind)},
+                 {"severity", alarm.warning_only ? "warning" : "alarm"}})
+      .add();
+}
 
 void AnomalyDetector::track(int node, TimeNs now) {
   nodes_[node].last_beat = now;
 }
 
 std::optional<Alarm> AnomalyDetector::feed(const Heartbeat& hb) {
+  if (metrics_ != nullptr) metrics_->counter("ft_heartbeats_total").add();
   NodeState& state = nodes_[hb.node];
   state.last_beat = hb.at;
   if (state.alarmed) return std::nullopt;
 
   if (hb.error_status) {
     state.alarmed = true;
-    return Alarm{AlarmKind::kErrorStatus, hb.node, hb.at,
-                 "training process reported error", false};
+    Alarm alarm{AlarmKind::kErrorStatus, hb.node, hb.at,
+                "training process reported error", false};
+    count_alarm(alarm);
+    return alarm;
   }
   for (const auto& line : hb.log_lines) {
     for (const auto& keyword : cfg_.error_keywords) {
       if (line.find(keyword) != std::string::npos) {
         state.alarmed = true;
-        return Alarm{AlarmKind::kLogKeyword, hb.node, hb.at,
-                     "log keyword: " + keyword, false};
+        Alarm alarm{AlarmKind::kLogKeyword, hb.node, hb.at,
+                    "log keyword: " + keyword, false};
+        count_alarm(alarm);
+        return alarm;
       }
     }
   }
@@ -34,13 +62,17 @@ std::optional<Alarm> AnomalyDetector::feed(const Heartbeat& hb) {
   if (baseline > 0) {
     if (hb.rdma_gbps < cfg_.rdma_silence_fraction * baseline) {
       state.alarmed = true;
-      return Alarm{AlarmKind::kRdmaSilence, hb.node, hb.at,
-                   "RDMA traffic ceased", false};
+      Alarm alarm{AlarmKind::kRdmaSilence, hb.node, hb.at,
+                  "RDMA traffic ceased", false};
+      count_alarm(alarm);
+      return alarm;
     }
     if (hb.rdma_gbps < cfg_.rdma_warning_fraction * baseline) {
       // Significant decline: warn, keep training (§4.2 manual path).
-      return Alarm{AlarmKind::kRdmaSilence, hb.node, hb.at,
-                   "RDMA traffic decline", true};
+      Alarm alarm{AlarmKind::kRdmaSilence, hb.node, hb.at,
+                  "RDMA traffic decline", true};
+      count_alarm(alarm);
+      return alarm;
     }
   }
   // EWMA update only with healthy-looking samples.
@@ -56,6 +88,7 @@ std::vector<Alarm> AnomalyDetector::check_timeouts(TimeNs now) {
       state.alarmed = true;
       alarms.push_back(Alarm{AlarmKind::kHeartbeatTimeout, node, now,
                              "missing heartbeat", false});
+      count_alarm(alarms.back());
     }
   }
   return alarms;

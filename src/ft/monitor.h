@@ -18,6 +18,10 @@
 
 #include "core/time.h"
 
+namespace ms::telemetry {
+class MetricsRegistry;
+}  // namespace ms::telemetry
+
 namespace ms::ft {
 
 struct Heartbeat {
@@ -60,6 +64,11 @@ class AnomalyDetector {
  public:
   explicit AnomalyDetector(DetectorConfig cfg) : cfg_(std::move(cfg)) {}
 
+  /// Optional telemetry (not owned): heartbeats are counted and every
+  /// alarm/warning increments `ft_alarms_total{kind=...,severity=...}` —
+  /// the §4.2 dashboard feed.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   /// Registers a node so missing heartbeats can be detected from t=0.
   void track(int node, TimeNs now);
 
@@ -75,7 +84,10 @@ class AnomalyDetector {
     double rdma_baseline = -1;  // EWMA of healthy traffic
     bool alarmed = false;
   };
+  void count_alarm(const Alarm& alarm);
+
   DetectorConfig cfg_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   std::unordered_map<int, NodeState> nodes_;
 };
 

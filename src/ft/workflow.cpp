@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/metrics.h"
+
 namespace ms::ft {
 
 DetectionResult detect_fault(const WorkflowConfig& cfg, FaultType type,
@@ -11,6 +13,7 @@ DetectionResult detect_fault(const WorkflowConfig& cfg, FaultType type,
   const FaultSignature sig = fault_signature(type);
   const TimeNs interval = cfg.detector.heartbeat_interval;
   AnomalyDetector detector(cfg.detector);
+  detector.set_metrics(cfg.metrics);
 
   constexpr int kNode = 0;
   detector.track(kNode, 0);
@@ -138,6 +141,18 @@ RunReport run_robust_training(const WorkflowConfig& cfg, TimeNs duration,
     report.downtime_total += incident.downtime;
     report.lost_progress_total += incident.lost_progress;
     ++report.restarts;
+    if (cfg.metrics != nullptr) {
+      auto& m = *cfg.metrics;
+      m.counter("ft_incidents_total", {{"path", incident.detection_path}})
+          .add();
+      m.counter("ft_restarts_total").add();
+      m.counter("ft_downtime_seconds_total")
+          .add(to_seconds(incident.downtime));
+      m.counter("ft_lost_progress_seconds_total")
+          .add(to_seconds(incident.lost_progress));
+      m.histogram("ft_detect_latency_seconds")
+          .observe(to_seconds(incident.detect_latency));
+    }
     report.incidents.push_back(incident);
     if (now >= duration) break;
   }
@@ -166,6 +181,16 @@ RunReport run_robust_training(const WorkflowConfig& cfg, TimeNs duration,
                           report.checkpoint_stall_total);
   report.effective_time_ratio =
       1.0 - wasted / static_cast<double>(duration);
+
+  if (cfg.metrics != nullptr) {
+    auto& m = *cfg.metrics;
+    m.counter("ft_checkpoints_total")
+        .add(static_cast<double>(report.checkpoints_taken));
+    m.counter("ft_checkpoint_stall_seconds_total")
+        .add(to_seconds(report.checkpoint_stall_total));
+    m.gauge("ft_effective_time_ratio").set(report.effective_time_ratio);
+    m.gauge("ft_auto_detected_fraction").set(report.auto_detected_fraction);
+  }
   return report;
 }
 

@@ -27,6 +27,12 @@ namespace ms::ft {
 
 struct WorkflowConfig {
   int nodes = 1536;
+  /// Optional telemetry (not owned). The workflow counts incidents by
+  /// detection path, restarts and checkpoints, accumulates downtime /
+  /// lost-progress / stall seconds, records a detect-latency histogram and
+  /// publishes the effective-time-ratio gauge; the per-fault detectors it
+  /// spawns share the same registry.
+  telemetry::MetricsRegistry* metrics = nullptr;
   DetectorConfig detector;
   SuiteConfig suite;
   CheckpointSpec checkpoint;

@@ -6,6 +6,7 @@
 
 #include "core/rng.h"
 #include "core/stats.h"
+#include "telemetry/metrics.h"
 
 namespace ms::net {
 
@@ -112,8 +113,16 @@ CcSimResult run_cc_sim(
   int pause_events = 0;
   double pause_time = 0;
   double served_total = 0;
+  long ecn_marks = 0;
   RunningStat queue_stat;
   Percentiles queue_pct;
+
+  const std::string algo_name = algos.front()->name();
+  const telemetry::Labels algo_labels{{"algo", algo_name}};
+  telemetry::Histogram* queue_hist_metric =
+      params.metrics
+          ? &params.metrics->histogram("ccsim_queue_bytes", algo_labels)
+          : nullptr;
 
   // History of queue depth for delayed feedback.
   std::vector<double> queue_hist(static_cast<std::size_t>(steps) + 1, 0.0);
@@ -138,6 +147,7 @@ CcSimResult run_cc_sim(
 
     queue_stat.add(queue);
     queue_pct.add(queue);
+    if (queue_hist_metric != nullptr) queue_hist_metric->observe(queue);
     queue_hist[static_cast<std::size_t>(step) + 1] = queue;
 
     // --- PFC state machine ---
@@ -176,6 +186,7 @@ CcSimResult run_cc_sim(
         CcFeedback fb;
         fb.rtt_s = rtt;
         fb.ecn = rng.chance(p_any);
+        if (fb.ecn) ++ecn_marks;
         fb.line_rate = params.line_rate;
         fb.dt = params.base_rtt_s;
         rate[static_cast<std::size_t>(i)] =
@@ -185,13 +196,25 @@ CcSimResult run_cc_sim(
   }
 
   CcSimResult result;
-  result.algorithm = algos.front()->name();
+  result.algorithm = algo_name;
   result.utilization =
       served_total / (params.bottleneck_rate * params.duration_s);
   result.mean_queue_bytes = queue_stat.mean();
   result.p99_queue_bytes = queue_pct.p99();
   result.pfc_pause_fraction = pause_time / params.duration_s;
   result.pfc_pause_events = pause_events;
+
+  if (params.metrics != nullptr) {
+    auto& m = *params.metrics;
+    m.counter("ccsim_ecn_marks_total", algo_labels)
+        .add(static_cast<double>(ecn_marks));
+    m.counter("ccsim_pfc_pause_events_total", algo_labels)
+        .add(static_cast<double>(pause_events));
+    m.gauge("ccsim_pfc_pause_fraction", algo_labels)
+        .set(result.pfc_pause_fraction);
+    m.gauge("ccsim_queue_depth_bytes", algo_labels).set(queue);
+    m.gauge("ccsim_utilization", algo_labels).set(result.utilization);
+  }
 
   // Jain fairness over per-sender sent bytes.
   double sum = 0, sum_sq = 0;

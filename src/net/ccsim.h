@@ -21,6 +21,10 @@
 #include "core/time.h"
 #include "core/units.h"
 
+namespace ms::telemetry {
+class MetricsRegistry;
+}  // namespace ms::telemetry
+
 namespace ms::net {
 
 struct CcFeedback {
@@ -101,6 +105,10 @@ struct CcSimParams {
   // PFC pause/resume thresholds (bytes of queue).
   double pfc_pause = 2000e3;
   double pfc_resume = 1600e3;
+  /// Optional telemetry (not owned): queue-depth histogram, ECN-mark and
+  /// PFC-pause counters, utilization/pause-fraction gauges — all labeled
+  /// {algo=<controller>}.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct CcSimResult {

@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace ms::net {
 
 FlowSim::FlowSim(const ClosTopology& topo) : topo_(&topo) {}
@@ -156,6 +158,14 @@ void FlowSim::run() {
         --remaining_flows;
       }
     }
+  }
+
+  if (metrics_ != nullptr) {
+    auto& m = *metrics_;
+    m.counter("flowsim_flows_total").add(static_cast<double>(n));
+    auto& durations = m.histogram("flowsim_flow_duration_seconds");
+    for (const auto& r : results_) durations.observe(to_seconds(r.duration()));
+    m.gauge("flowsim_makespan_seconds").set(to_seconds(makespan()));
   }
 }
 

@@ -19,6 +19,10 @@
 #include "core/units.h"
 #include "net/topology.h"
 
+namespace ms::telemetry {
+class MetricsRegistry;
+}  // namespace ms::telemetry
+
 namespace ms::net {
 
 struct FlowResult {
@@ -32,6 +36,10 @@ struct FlowResult {
 class FlowSim {
  public:
   explicit FlowSim(const ClosTopology& topo);
+
+  /// Optional telemetry (not owned): run() records a per-flow duration
+  /// histogram plus flow-count and makespan series.
+  void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Adds a flow that becomes active at `arrival`. The path must be
   /// non-empty (intra-host transfers never touch the fabric). Returns a
@@ -61,6 +69,7 @@ class FlowSim {
   std::vector<double> compute_rates() const;
 
   const ClosTopology* topo_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   std::vector<FlowState> flows_;
   std::vector<FlowResult> results_;
   bool ran_ = false;

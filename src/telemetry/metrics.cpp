@@ -1,0 +1,118 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/log.h"
+
+namespace ms::telemetry {
+
+namespace {
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+}  // namespace
+
+std::string encode_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  const Labels canon = canonical(labels);
+  std::string out = "{";
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    if (i) out += ',';
+    out += canon[i].first;
+    out += "=\"";
+    out += canon[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name,
+                                          const Labels& labels) const {
+  const Labels want = canonical(labels);
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == want) return &s;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Cell& MetricsRegistry::cell(const std::string& name,
+                                             const Labels& labels,
+                                             MetricKind kind) {
+  Labels canon = canonical(labels);
+  const std::string key = name + '|' + encode_labels(canon);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    if (it->second->kind != kind) {
+      MS_LOG_ERROR << "metric '" << name << "' re-registered as a different kind";
+      std::abort();
+    }
+    return *it->second;
+  }
+  // Cell holds atomics and a mutex, so it is built in place, not moved.
+  Cell& c = cells_.emplace_back();
+  c.name = name;
+  c.labels = std::move(canon);
+  c.kind = kind;
+  index_.emplace(key, &c);
+  return c;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return cell(name, labels, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return cell(name, labels, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels) {
+  return cell(name, labels, MetricKind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(cells_.size());
+  for (const auto& c : cells_) {
+    MetricSample s;
+    s.name = c.name;
+    s.labels = c.labels;
+    s.kind = c.kind;
+    switch (c.kind) {
+      case MetricKind::kCounter: s.value = c.counter.value(); break;
+      case MetricKind::kGauge: s.value = c.gauge.value(); break;
+      case MetricKind::kHistogram: s.hist = c.histogram.snapshot(); break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : cells_) {
+    c.counter.reset();
+    c.gauge.reset();
+    c.histogram.reset();
+  }
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+}  // namespace ms::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/trace.h"
+
+namespace ms::telemetry {
+
+void Tracer::set_clock(std::function<TimeNs()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+void Tracer::attach(const sim::Engine& engine) {
+  set_clock([&engine] { return engine.now(); });
+}
+
+TimeNs Tracer::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_ ? clock_() : 0;
+}
+
+void Tracer::record(diag::TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+void Tracer::record(int rank, const std::string& name, const std::string& tag,
+                    TimeNs start, TimeNs end) {
+  record(diag::TraceSpan{rank, name, tag, start, end});
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<diag::TraceSpan> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+diag::TimelineTrace Tracer::timeline() const {
+  return timeline([](const diag::TraceSpan&) { return true; });
+}
+
+diag::TimelineTrace Tracer::timeline(
+    const std::function<bool(const diag::TraceSpan&)>& keep) const {
+  diag::TimelineTrace trace;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : spans_) {
+    if (keep(s)) trace.add(s);
+  }
+  return trace;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+ScopedSpan::ScopedSpan(Tracer& tracer, int rank, std::string name,
+                       std::string tag)
+    : tracer_(tracer) {
+  span_.rank = rank;
+  span_.name = std::move(name);
+  span_.tag = std::move(tag);
+  span_.start = tracer_.now();
+}
+
+ScopedSpan::~ScopedSpan() { close(); }
+
+void ScopedSpan::close() {
+  if (!open_) return;
+  open_ = false;
+  span_.end = tracer_.now();
+  tracer_.record(std::move(span_));
+}
+
+}  // namespace ms::telemetry

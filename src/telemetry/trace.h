@@ -1,0 +1,75 @@
+// Engine-integrated scoped tracing (MegaScale §5.1).
+//
+// A Tracer is a thread-safe span sink bound to a clock — usually the
+// discrete-event engine's simulated time — plus RAII spans for scoped
+// instrumentation. Spans reuse diag::TraceSpan, so everything recorded
+// here feeds directly into the §5 diagnosis tools (timeline rendering,
+// bubble accounting, Chrome-trace export) without a conversion layer.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "diag/timeline.h"
+#include "sim/engine.h"
+
+namespace ms::telemetry {
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Clock the spans read their timestamps from. Defaults to a clock
+  /// frozen at 0; attach the simulation engine (or any TimeNs source)
+  /// before opening spans.
+  void set_clock(std::function<TimeNs()> clock);
+  void attach(const sim::Engine& engine);
+  TimeNs now() const;
+
+  /// Appends one finished span. Thread-safe.
+  void record(diag::TraceSpan span);
+  void record(int rank, const std::string& name, const std::string& tag,
+              TimeNs start, TimeNs end);
+
+  std::size_t size() const;
+  std::vector<diag::TraceSpan> spans() const;  // copy, in record order
+
+  /// Spans folded onto the unified multi-rank timeline (optionally only
+  /// those whose tag passes `keep`).
+  diag::TimelineTrace timeline() const;
+  diag::TimelineTrace timeline(
+      const std::function<bool(const diag::TraceSpan&)>& keep) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::function<TimeNs()> clock_;
+  std::vector<diag::TraceSpan> spans_;
+};
+
+/// RAII span: opens at construction time (tracer clock), records on
+/// destruction or on close(). Advance the clock in between — in simulation
+/// that means running engine events — and the span brackets the activity.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, int rank, std::string name, std::string tag = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span early; the destructor becomes a no-op.
+  void close();
+
+ private:
+  Tracer& tracer_;
+  diag::TraceSpan span_;
+  bool open_ = true;
+};
+
+}  // namespace ms::telemetry

@@ -288,5 +288,75 @@ TEST(Table, Formatters) {
   EXPECT_EQ(Table::fmt_pct(0.552), "55.2%");
 }
 
+// --------------------------------------------------------- hdr histogram
+
+TEST(HdrHistogram, TracksMomentsExactly) {
+  HdrHistogram h;
+  EXPECT_TRUE(h.empty());
+  h.add(0.001);
+  h.add(0.002);
+  h.add(0.003, 2);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.009);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.00225);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.003);
+}
+
+TEST(HdrHistogram, QuantilesWithinBucketResolution) {
+  HdrHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(i * 1e-3);  // 1ms .. 1s uniform
+  // 32 buckets/decade => ~7.5% relative bucket width; allow 10%.
+  EXPECT_NEAR(h.p50(), 0.5, 0.05);
+  EXPECT_NEAR(h.p99(), 0.99, 0.1);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max());
+}
+
+TEST(HdrHistogram, MergeEqualsCombinedStream) {
+  // The fixed bucket layout makes merge exact: merging per-rank sketches
+  // gives the same sketch as observing the union.
+  HdrHistogram a, b, combined;
+  for (int i = 1; i <= 40; ++i) {
+    const double x = i * 2.5e-4;
+    (i % 2 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), combined.total());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.p50(), combined.p50());
+  const auto ba = a.nonzero_buckets();
+  const auto bc = combined.nonzero_buckets();
+  ASSERT_EQ(ba.size(), bc.size());
+  for (std::size_t i = 0; i < ba.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ba[i].lo, bc[i].lo);
+    EXPECT_EQ(ba[i].count, bc[i].count);
+  }
+}
+
+TEST(HdrHistogram, OutOfRangeAndNonFiniteGoToEdgeBuckets) {
+  HdrHistogram h;
+  h.add(0.0);    // below range -> underflow
+  h.add(-5.0);   // negative -> underflow
+  h.add(1e15);   // above range -> overflow
+  h.add(0.5);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e15);
+  // Quantiles stay clamped to observed extremes.
+  EXPECT_LE(h.quantile(1.0), 1e15);
+}
+
+TEST(HdrHistogram, BucketsCoverValues) {
+  HdrHistogram h;
+  h.add(0.37);
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_LE(buckets[0].lo, 0.37);
+  EXPECT_GT(buckets[0].hi, 0.37);
+  EXPECT_EQ(buckets[0].count, 1u);
+}
+
 }  // namespace
 }  // namespace ms

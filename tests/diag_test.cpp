@@ -6,6 +6,7 @@
 #include "diag/stream.h"
 #include "diag/timeline.h"
 #include "diag/viz3d.h"
+#include "json_util.h"
 
 namespace ms::diag {
 namespace {
@@ -112,6 +113,52 @@ TEST(Timeline, RenderShowsLanesAndGlyphs) {
   EXPECT_NE(art.find("rank   0"), std::string::npos);
   EXPECT_NE(art.find('F'), std::string::npos);
   EXPECT_NE(art.find('B'), std::string::npos);
+}
+
+TEST(Timeline, ChromeTraceJsonParses) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd-0", .tag = "fwd",
+             .start = microseconds(10.0), .end = microseconds(30.0)});
+  trace.add({.rank = 1, .name = "bwd-0", .tag = "bwd",
+             .start = microseconds(30.0), .end = microseconds(70.0)});
+  const auto v = testjson::parse(trace.chrome_trace_json());
+  ASSERT_TRUE(v.is_object());
+  const auto& events = v.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("ph").str, "X");
+  EXPECT_EQ(events[0].at("name").str, "fwd-0");
+  EXPECT_EQ(events[0].at("cat").str, "fwd");
+  EXPECT_DOUBLE_EQ(events[0].at("ts").number, 10.0);
+  EXPECT_DOUBLE_EQ(events[0].at("dur").number, 20.0);
+  EXPECT_DOUBLE_EQ(events[1].at("pid").number, 1.0);
+}
+
+TEST(Timeline, ChromeTraceRoundTripsCountAndOrder) {
+  // Spans come back 1:1 and in insertion order, so the export is a faithful
+  // serialization of the trace (the telemetry exporters rely on this).
+  TimelineTrace trace;
+  constexpr int kSpans = 25;
+  for (int i = 0; i < kSpans; ++i) {
+    trace.add({.rank = i % 4, .name = "op-" + std::to_string(i), .tag = "fwd",
+               .start = i * microseconds(5.0),
+               .end = i * microseconds(5.0) + microseconds(3.0)});
+  }
+  const auto v = testjson::parse(trace.chrome_trace_json());
+  const auto& events = v.at("traceEvents");
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kSpans));
+  for (int i = 0; i < kSpans; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].at("name").str,
+              "op-" + std::to_string(i));
+    EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].at("ts").number,
+                     i * 5.0);
+  }
+}
+
+TEST(Timeline, ChromeTraceEmptyTraceIsValidJson) {
+  TimelineTrace trace;
+  const auto v = testjson::parse(trace.chrome_trace_json());
+  EXPECT_EQ(v.at("traceEvents").size(), 0u);
 }
 
 // ----------------------------------------------------------------- viz3d

@@ -215,6 +215,51 @@ TEST(Monitor, TimeoutDetection) {
   EXPECT_TRUE(det.check_timeouts(seconds(60.0)).empty());
 }
 
+TEST(Monitor, HeartbeatExactlyAtTimeoutBoundaryDoesNotAlarm) {
+  // The timeout rule is strict: `now - last_beat > timeout`, so a sweep
+  // landing exactly on the boundary must stay silent and one tick past it
+  // must fire.
+  const auto cfg = detector_config();
+  AnomalyDetector det(cfg);
+  det.track(0, 0);
+  const TimeNs beat_at = seconds(10.0);
+  det.feed({.node = 0, .at = beat_at, .rdma_gbps = 150});
+  EXPECT_TRUE(det.check_timeouts(beat_at + cfg.heartbeat_timeout).empty());
+  auto alarms = det.check_timeouts(beat_at + cfg.heartbeat_timeout + 1);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].kind, AlarmKind::kHeartbeatTimeout);
+}
+
+TEST(Monitor, RdmaBaselineWarmsUpBeforeFirstJudgment) {
+  // The very first traffic sample only seeds the EWMA baseline: even a
+  // zero-traffic first beat must not alarm (there is nothing to compare
+  // against yet), and a zero baseline never divides into silence alarms.
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  EXPECT_FALSE(det.feed({.node = 0, .at = seconds(10.0), .rdma_gbps = 0}));
+  // Baseline is now 0; a healthy beat must not trip the comparison — a
+  // zero baseline makes any traffic look infinite — it only lifts the EWMA.
+  EXPECT_FALSE(det.feed({.node = 0, .at = seconds(20.0), .rdma_gbps = 150}));
+  // With a positive baseline established, collapse is finally judged.
+  auto alarm = det.feed({.node = 0, .at = seconds(30.0), .rdma_gbps = 0});
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->kind, AlarmKind::kRdmaSilence);
+}
+
+TEST(Monitor, AlarmedNodeSuppressesReAlarms) {
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  auto first = det.feed(
+      {.node = 0, .at = seconds(10.0), .error_status = true, .rdma_gbps = 150});
+  ASSERT_TRUE(first.has_value());
+  // The node keeps reporting the error, but the driver already knows.
+  auto repeat = det.feed(
+      {.node = 0, .at = seconds(20.0), .error_status = true, .rdma_gbps = 150});
+  EXPECT_FALSE(repeat.has_value());
+  // The alarmed node is excluded from timeout sweeps too.
+  EXPECT_TRUE(det.check_timeouts(seconds(500.0)).empty());
+}
+
 // -------------------------------------------------------------- workflow
 
 WorkflowConfig small_workflow() {

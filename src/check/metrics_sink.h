@@ -1,0 +1,26 @@
+// Bridge from the invariant auditor to the telemetry registry.
+//
+// Header-only so ms_check itself stays dependency-light (core only) and
+// linkable from the sim engine without a cycle through ms_telemetry;
+// anything that wants violations exported as metrics already links
+// telemetry and can include this.
+#pragma once
+
+#include "check/audit.h"
+#include "telemetry/metrics.h"
+
+namespace ms::check {
+
+/// Sink that mirrors every violation into
+/// `audit_violations_total{domain=..., invariant=...}`. The registry must
+/// outlive the sink's installation (detach with set_sink(nullptr) first).
+inline ViolationSink metrics_sink(telemetry::MetricsRegistry& registry) {
+  return [&registry](const Violation& v) {
+    registry
+        .counter("audit_violations_total",
+                 {{"domain", v.domain}, {"invariant", v.invariant}})
+        .add();
+  };
+}
+
+}  // namespace ms::check

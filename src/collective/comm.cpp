@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
+#include "check/audit.h"
 #include "telemetry/metrics.h"
 
 namespace ms::collective {
@@ -34,6 +36,36 @@ TimeNs transfer_time(double bytes, Bandwidth bw) {
 }
 }  // namespace
 
+void CollectiveModel::audit_cost(const char* op, Domain domain, int ranks,
+                                 Bytes bytes, TimeNs t) const {
+#if defined(MS_AUDIT_ENABLED) && MS_AUDIT_ENABLED
+  MS_AUDIT("collective.model", "cost_nonnegative", t >= 0,
+           std::string(op) + " cost " + std::to_string(t) + "ns for " +
+               std::to_string(bytes) + " bytes");
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  auto key = std::make_tuple(std::string(op), static_cast<int>(domain), ranks);
+  auto it = audit_last_.find(key);
+  if (it != audit_last_.end()) {
+    const auto [prev_bytes, prev_t] = it->second;
+    const bool monotone = (bytes >= prev_bytes && t >= prev_t) ||
+                          (bytes <= prev_bytes && t <= prev_t);
+    MS_AUDIT("collective.model", "cost_monotone_in_bytes", monotone,
+             std::string(op) + ": " + std::to_string(bytes) + "B -> " +
+                 std::to_string(t) + "ns vs " + std::to_string(prev_bytes) +
+                 "B -> " + std::to_string(prev_t) + "ns");
+    it->second = {bytes, t};
+  } else {
+    audit_last_.emplace(std::move(key), std::make_pair(bytes, t));
+  }
+#else
+  (void)op;
+  (void)domain;
+  (void)ranks;
+  (void)bytes;
+  (void)t;
+#endif
+}
+
 void CollectiveModel::record(const char* op, Domain domain, Bytes bytes,
                              TimeNs t) const {
   if (metrics_ == nullptr) return;
@@ -54,6 +86,7 @@ TimeNs CollectiveModel::all_reduce(Bytes bytes, int ranks, Domain domain) const 
   const double payload = 2.0 * (n - 1.0) / n * static_cast<double>(bytes);
   const TimeNs t = transfer_time(payload, bandwidth(domain)) +
                    2 * (ranks - 1) * latency(domain);
+  audit_cost("allreduce", domain, ranks, bytes, t);
   record("allreduce", domain, bytes, t);
   return t;
 }
@@ -65,6 +98,7 @@ TimeNs CollectiveModel::all_gather(Bytes bytes, int ranks, Domain domain) const 
   const double payload = (n - 1.0) / n * static_cast<double>(bytes);
   const TimeNs t = transfer_time(payload, bandwidth(domain)) +
                    (ranks - 1) * latency(domain);
+  audit_cost("allgather", domain, ranks, bytes, t);
   record("allgather", domain, bytes, t);
   return t;
 }
@@ -77,6 +111,7 @@ TimeNs CollectiveModel::reduce_scatter(Bytes bytes, int ranks,
   const double payload = (n - 1.0) / n * static_cast<double>(bytes);
   const TimeNs t = transfer_time(payload, bandwidth(domain)) +
                    (ranks - 1) * latency(domain);
+  audit_cost("reducescatter", domain, ranks, bytes, t);
   record("reducescatter", domain, bytes, t);
   return t;
 }
@@ -88,6 +123,7 @@ TimeNs CollectiveModel::all_to_all(Bytes bytes, int ranks, Domain domain) const 
   const double payload = (n - 1.0) / n * static_cast<double>(bytes);
   const TimeNs t = transfer_time(payload, bandwidth(domain)) +
                    (ranks - 1) * latency(domain);
+  audit_cost("alltoall", domain, ranks, bytes, t);
   record("alltoall", domain, bytes, t);
   return t;
 }
@@ -97,6 +133,7 @@ TimeNs CollectiveModel::send_recv(Bytes bytes, Domain domain) const {
   if (bytes == 0) return 0;
   const TimeNs t = transfer_time(static_cast<double>(bytes), bandwidth(domain)) +
                    latency(domain);
+  audit_cost("sendrecv", domain, /*ranks=*/2, bytes, t);
   record("sendrecv", domain, bytes, t);
   return t;
 }
@@ -118,6 +155,7 @@ TimeNs CollectiveModel::broadcast(Bytes bytes, int ranks, Domain domain) const {
   if (ranks == 1 || bytes == 0) return 0;
   const TimeNs t = transfer_time(static_cast<double>(bytes), bandwidth(domain)) +
                    (ranks - 1) * latency(domain);
+  audit_cost("broadcast", domain, ranks, bytes, t);
   record("broadcast", domain, bytes, t);
   return t;
 }

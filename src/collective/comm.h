@@ -9,6 +9,12 @@
 // max-min-fair flow simulator in tests (collective_test.cpp).
 #pragma once
 
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+
 #include "core/time.h"
 #include "core/units.h"
 
@@ -97,10 +103,20 @@ class CollectiveModel {
 
  private:
   void record(const char* op, Domain domain, Bytes bytes, TimeNs t) const;
+  /// MS_AUDIT hook: α–β costs are monotone in bytes (per op/domain/ranks)
+  /// and never undercut the pure latency term. No-op when auditing is
+  /// compiled out.
+  void audit_cost(const char* op, Domain domain, int ranks, Bytes bytes,
+                  TimeNs t) const;
 
   ClusterSpec cluster_;
   double network_efficiency_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  // Last (bytes, cost) per (op, domain, ranks) — backing state for
+  // audit_cost's cross-call monotonicity invariant.
+  mutable std::mutex audit_mu_;
+  mutable std::map<std::tuple<std::string, int, int>, std::pair<Bytes, TimeNs>>
+      audit_last_;
 };
 
 }  // namespace ms::collective

@@ -83,6 +83,7 @@ class Histogram {
 class HdrHistogram {
  public:
   static constexpr double kRangeLo = 1e-9;
+  // ms-lint: allow(unit-literal): histogram range bound, not a unit conversion.
   static constexpr double kRangeHi = 1e12;
   static constexpr int kBucketsPerDecade = 32;
   static constexpr int kDecades = 21;  // log10(kRangeHi / kRangeLo)

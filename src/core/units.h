@@ -33,6 +33,12 @@ constexpr double to_gBps(Bandwidth b) { return b / 1e9; }
 /// iteration FLOPs (~1e19) even strain int64 headroom, so use double.
 using Flops = double;
 
+/// SI scale factors. This header is the one place powers-of-ten unit
+/// literals are allowed (enforced by tools/lint.py); call sites say
+/// mega(1.0)/giga(2.5) instead of sprinkling 1e6/1e9.
+constexpr double kilo(double v) { return v * 1e3; }
+constexpr double mega(double v) { return v * 1e6; }
+constexpr double giga(double v) { return v * 1e9; }
 constexpr Flops tera(double v) { return v * 1e12; }
 constexpr Flops peta(double v) { return v * 1e15; }
 

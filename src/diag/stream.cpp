@@ -13,10 +13,10 @@ std::size_t EventStore::total_events() const {
   return records_.size();
 }
 
-double EventStore::mean_duration_s(int rank, const std::string& segment) const {
+TimeNs EventStore::mean_duration(int rank, const std::string& segment) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = agg_.find({rank, segment});
-  return it == agg_.end() ? 0.0 : it->second.mean();
+  return it == agg_.end() ? 0 : seconds(it->second.mean());
 }
 
 std::vector<EventRecord> EventStore::step_records(std::int64_t step) const {

@@ -39,7 +39,7 @@ class EventStore {
 
   std::size_t total_events() const;
   /// Mean duration of a segment on a rank across steps.
-  double mean_duration_s(int rank, const std::string& segment) const;
+  TimeNs mean_duration(int rank, const std::string& segment) const;
   /// All records of one step (for drill-down).
   std::vector<EventRecord> step_records(std::int64_t step) const;
 

@@ -11,7 +11,7 @@ void ring_all_reduce_sum(std::vector<Buffer*> ranks) {
   assert(n >= 1);
   if (n == 1) return;
   const std::size_t size = ranks[0]->size();
-  for (auto* b : ranks) {
+  for ([[maybe_unused]] auto* b : ranks) {
     assert(b->size() == size);
   }
   assert(size % static_cast<std::size_t>(n) == 0);

@@ -394,7 +394,7 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
                           cfg.cluster.gpu.peak_flops);
   result.aggregate_pflops =
       model::reference_train_flops_per_token(cfg.model) *
-      result.tokens_per_second / 1e15;
+      result.tokens_per_second / peta(1.0);
 
   // Breakdown from spans.
   TimeNs pipeline_start = makespan, pipeline_end = 0;

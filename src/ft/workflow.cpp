@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
+#include "check/audit.h"
 #include "telemetry/metrics.h"
 
 namespace ms::ft {
@@ -84,11 +86,17 @@ RunReport run_robust_training(const WorkflowConfig& cfg, TimeNs duration,
 
   TimeNs now = 0;
   TimeNs progress_since_ckpt = 0;
+  // Effective-time accounting closure (audited below): every nanosecond of
+  // [0, duration] is either healthy training or in-window incident
+  // downtime.
+  TimeNs healthy_total = 0;
+  TimeNs downtime_in_window = 0;
 
   auto advance_healthy = [&](TimeNs until) {
     // Healthy training from `now` to `until`, checkpointing on schedule.
     TimeNs up = until - now;
     if (up <= 0) return;
+    healthy_total += up;
     TimeNs to_next_ckpt = cfg.checkpoint_interval - progress_since_ckpt;
     while (up >= to_next_ckpt) {
       up -= to_next_ckpt;
@@ -135,7 +143,18 @@ RunReport run_robust_training(const WorkflowConfig& cfg, TimeNs duration,
                         cfg.evict_replenish_time + recovery_read +
                         cfg.reinit_time;
 
+    MS_AUDIT("ft.workflow", "detect_latency_nonnegative",
+             incident.detect_latency >= 0,
+             "negative detect latency " +
+                 std::to_string(incident.detect_latency) + "ns");
+    MS_AUDIT("ft.workflow", "lost_progress_bounded_by_interval",
+             incident.lost_progress <= cfg.checkpoint_interval,
+             "lost " + std::to_string(incident.lost_progress) +
+                 "ns of progress with a checkpoint every " +
+                 std::to_string(cfg.checkpoint_interval) + "ns");
+
     now = strike + incident.downtime;
+    downtime_in_window += std::min(incident.downtime, duration - strike);
     progress_since_ckpt = 0;  // resumed from the last checkpoint
 
     report.downtime_total += incident.downtime;
@@ -176,11 +195,30 @@ RunReport run_robust_training(const WorkflowConfig& cfg, TimeNs duration,
         static_cast<TimeNs>(static_cast<double>(down_sum) / n);
   }
 
+  // Accounting closure: healthy time plus in-window downtime partitions
+  // the run exactly — any gap means the clock advanced unaccounted (the
+  // silent-drift failure mode the auditor exists to catch).
+  MS_AUDIT("ft.workflow", "effective_time_closure",
+           healthy_total + downtime_in_window == duration,
+           "healthy " + std::to_string(healthy_total) + "ns + downtime " +
+               std::to_string(downtime_in_window) + "ns != duration " +
+               std::to_string(duration) + "ns");
+  MS_AUDIT("ft.workflow", "checkpoint_stall_closure",
+           report.checkpoint_stall_total ==
+               static_cast<TimeNs>(report.checkpoints_taken) * ckpt_stall,
+           std::to_string(report.checkpoints_taken) + " checkpoints at " +
+               std::to_string(ckpt_stall) + "ns each, but stall total is " +
+               std::to_string(report.checkpoint_stall_total) + "ns");
+
   const double wasted =
       static_cast<double>(report.downtime_total + report.lost_progress_total +
                           report.checkpoint_stall_total);
   report.effective_time_ratio =
       1.0 - wasted / static_cast<double>(duration);
+  MS_AUDIT("ft.workflow", "effective_time_ratio_bounded",
+           report.effective_time_ratio <= 1.0,
+           "effective time ratio " +
+               std::to_string(report.effective_time_ratio) + " above 1");
 
   if (cfg.metrics != nullptr) {
     auto& m = *cfg.metrics;

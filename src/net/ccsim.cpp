@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
+#include "check/audit.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "telemetry/metrics.h"
@@ -145,6 +147,14 @@ CcSimResult run_cc_sim(
     served_total += served;
     queue = available - served;
 
+    MS_AUDIT("net.ccsim", "queue_nonnegative", queue >= 0.0,
+             "egress queue at " + std::to_string(queue) + " bytes in step " +
+                 std::to_string(step));
+    MS_AUDIT("net.ccsim", "byte_conservation",
+             served <= available * (1.0 + 1e-9) + 1e-6,
+             "served " + std::to_string(served) + " bytes with only " +
+                 std::to_string(available) + " available");
+
     queue_stat.add(queue);
     queue_pct.add(queue);
     if (queue_hist_metric != nullptr) queue_hist_metric->observe(queue);
@@ -157,6 +167,11 @@ CcSimResult run_cc_sim(
     } else if (paused && queue < params.pfc_resume) {
       paused = false;
     }
+    // Bounded PFC state: the pause latch only holds above the resume mark.
+    MS_AUDIT("net.ccsim", "pfc_state_bounded", !paused || queue >= params.pfc_resume,
+             "paused with queue at " + std::to_string(queue) +
+                 " bytes, below resume threshold " +
+                 std::to_string(params.pfc_resume));
 
     // --- control plane: per-RTT feedback, staggered across senders ---
     // Each sender receives one ACK batch per base RTT, reflecting the queue
@@ -174,6 +189,10 @@ CcSimResult run_cc_sim(
         mark_p = params.ecn_pmax * (fb_queue - params.ecn_kmin) /
                  (params.ecn_kmax - params.ecn_kmin);
       }
+      MS_AUDIT("net.ccsim", "ecn_mark_probability_bounded",
+               mark_p >= 0.0 && mark_p <= 1.0,
+               "RED mark probability " + std::to_string(mark_p) +
+                   " outside [0,1] at queue depth " + std::to_string(fb_queue));
       for (int i = 0; i < n; ++i) {
         if ((step + i) % rtt_steps_base != 0) continue;  // staggered phases
         const double r = rate[static_cast<std::size_t>(i)];
@@ -189,8 +208,14 @@ CcSimResult run_cc_sim(
         if (fb.ecn) ++ecn_marks;
         fb.line_rate = params.line_rate;
         fb.dt = params.base_rtt_s;
-        rate[static_cast<std::size_t>(i)] =
+        const double new_rate =
             algos[static_cast<std::size_t>(i)]->on_feedback(r, fb);
+        MS_AUDIT("net.ccsim", "rate_within_line_rate",
+                 new_rate >= 0.0 && new_rate <= params.line_rate * (1.0 + 1e-9),
+                 algo_name + " sender " + std::to_string(i) + " set rate " +
+                     std::to_string(new_rate) + " B/s (line rate " +
+                     std::to_string(params.line_rate) + ")");
+        rate[static_cast<std::size_t>(i)] = new_rate;
       }
     }
   }

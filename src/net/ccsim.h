@@ -12,6 +12,10 @@
 // crosses the pause threshold. Each sender runs a pluggable congestion
 // controller fed with delayed (RTT, ECN) feedback.
 #pragma once
+// ms-lint: allow-file(raw-seconds): the fluid model integrates rate * dt in
+// double seconds by design; TimeNs applies at event-scheduling boundaries.
+// ms-lint: allow-file(unit-literal): parameter defaults are physical values
+// (bytes/s, bytes, seconds), not unit-conversion factors.
 
 #include <functional>
 #include <memory>

@@ -10,6 +10,8 @@
 // injecting at hop i); a paused queue serves nobody — including innocent
 // flows that exit before the congestion point.
 #pragma once
+// ms-lint: allow-file(raw-seconds): fluid model in double seconds, see
+// ccsim.h.
 
 #include <functional>
 #include <memory>

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "check/audit.h"
 #include "telemetry/metrics.h"
 
 namespace ms::net {
@@ -89,6 +91,26 @@ std::vector<double> FlowSim::compute_rates() const {
       throw std::logic_error("FlowSim: progressive filling stalled");
     }
   }
+
+#if defined(MS_AUDIT_ENABLED) && MS_AUDIT_ENABLED
+  // Link-level conservation: the allocation never oversubscribes a link.
+  std::vector<double> link_load(topo_->links().size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(flows_[i].active && !flows_[i].finished)) continue;
+    MS_AUDIT("net.flowsim", "rate_nonnegative", rate[i] >= 0.0,
+             "flow " + std::to_string(i) + " allocated rate " +
+                 std::to_string(rate[i]));
+    for (LinkId l : flows_[i].path) link_load[static_cast<std::size_t>(l)] += rate[i];
+  }
+  for (std::size_t l = 0; l < link_load.size(); ++l) {
+    const double cap = topo_->links()[l].capacity;
+    MS_AUDIT("net.flowsim", "link_capacity_respected",
+             link_load[l] <= cap * (1.0 + 1e-9) + 1e-6,
+             "link " + std::to_string(l) + " allocated " +
+                 std::to_string(link_load[l]) + " B/s of " +
+                 std::to_string(cap));
+  }
+#endif
   return rate;
 }
 
@@ -159,6 +181,26 @@ void FlowSim::run() {
       }
     }
   }
+
+  // Byte conservation: every injected byte was delivered (no in-flight
+  // remainder once run() returns), and no flow finished before it arrived.
+  double injected = 0.0;
+  double undelivered = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    injected += static_cast<double>(results_[i].size);
+    undelivered += std::max(flows_[i].remaining, 0.0);
+    MS_AUDIT("net.flowsim", "flow_completed", flows_[i].finished,
+             "flow " + std::to_string(i) + " still unfinished after run()");
+    MS_AUDIT("net.flowsim", "finish_after_arrival",
+             results_[i].finish >= results_[i].arrival,
+             "flow " + std::to_string(i) + " finished at " +
+                 std::to_string(results_[i].finish) + "ns before arrival " +
+                 std::to_string(results_[i].arrival) + "ns");
+  }
+  MS_AUDIT("net.flowsim", "byte_conservation",
+           undelivered <= 1e-6 * static_cast<double>(n) + 1e-9 * injected,
+           std::to_string(undelivered) + " of " + std::to_string(injected) +
+               " injected bytes unaccounted for after run()");
 
   if (metrics_ != nullptr) {
     auto& m = *metrics_;

@@ -77,7 +77,7 @@ TrainRecord train_lm(TinyGpt& model, Optimizer& optimizer,
       Tensor loss = scale(model.loss(tokens_seq),
                           1.0f / static_cast<float>(cfg.batch_size));
       loss.backward();
-      batch_loss += loss.item() * cfg.batch_size;
+      batch_loss += static_cast<double>(loss.item()) * cfg.batch_size;
       tokens += seq;
     }
     batch_loss /= cfg.batch_size;
@@ -142,7 +142,7 @@ double train_copy_task(TinyGpt& model, Optimizer& optimizer,
       Tensor loss = scale(model.loss(corpus.sample_sequence(rng)),
                           1.0f / static_cast<float>(batch_size));
       loss.backward();
-      batch_loss += loss.item() * batch_size;
+      batch_loss += static_cast<double>(loss.item()) * batch_size;
     }
     optimizer.step(lr);
     last = batch_loss / batch_size;

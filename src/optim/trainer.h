@@ -6,6 +6,7 @@
 
 #include "core/rng.h"
 #include "core/stats.h"
+#include "core/units.h"
 #include "optim/nn.h"
 #include "optim/optimizers.h"
 
@@ -108,7 +109,7 @@ double train_copy_task(TinyGpt& model, Optimizer& optimizer,
 class ScalingLawLoss {
  public:
   ScalingLawLoss(double floor = 1.7, double amplitude = 12.0,
-                 double exponent = 0.12, double offset_tokens = 1e9,
+                 double exponent = 0.12, double offset_tokens = giga(1.0),
                  std::uint64_t seed = 1);
 
   double loss_at(double tokens);

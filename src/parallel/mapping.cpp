@@ -42,7 +42,8 @@ std::vector<int> pp_group(int rank, const ParallelConfig& cfg) {
   return group;
 }
 
-int node_of(int rank, const ParallelConfig& cfg, int gpus_per_node) {
+int node_of(int rank, [[maybe_unused]] const ParallelConfig& cfg,
+            int gpus_per_node) {
   assert(rank >= 0 && rank < cfg.world());
   return rank / gpus_per_node;
 }

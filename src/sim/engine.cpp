@@ -1,12 +1,16 @@
 #include "sim/engine.h"
 
-#include <cassert>
+#include <string>
 #include <utility>
+
+#include "check/audit.h"
 
 namespace ms::sim {
 
 EventId Engine::at(TimeNs t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule into the past");
+  MS_AUDIT("sim.engine", "schedule_not_in_past", t >= now_,
+           "at(" + std::to_string(t) + ") with now=" + std::to_string(now_));
+  if (t < now_) t = now_;  // clamp: keeps time monotone even under misuse
   const EventId id = next_id_++;
   queue_.push(Entry{t, id});
   callbacks_.emplace(id, std::move(fn));
@@ -24,6 +28,7 @@ bool Engine::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   --live_;
+  ++cancelled_;
   return true;
 }
 
@@ -40,10 +45,19 @@ bool Engine::pop_next(Entry& out) {
   return false;
 }
 
-bool Engine::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
+void Engine::fire(const Entry& e) {
+  MS_AUDIT("sim.engine", "time_monotonic", e.t >= now_,
+           "event " + std::to_string(e.t) + "ns fired with clock at " +
+               std::to_string(now_) + "ns");
+  MS_AUDIT("sim.engine", "fifo_within_timestamp",
+           e.t != last_fired_t_ || e.id > last_fired_id_,
+           "event id " + std::to_string(e.id) + " fired after id " +
+               std::to_string(last_fired_id_) + " at the same timestamp");
   now_ = e.t;
+  last_fired_t_ = e.t;
+  last_fired_id_ = e.id;
+  digest_.fold(e.id);
+  digest_.fold(e.t);
   auto it = callbacks_.find(e.id);
   // pop_next guaranteed presence; move the callback out before invoking so
   // the callback may freely schedule/cancel.
@@ -51,7 +65,19 @@ bool Engine::step() {
   callbacks_.erase(it);
   --live_;
   ++executed_;
+  // Tombstone closure: every id ever issued is live, fired or cancelled.
+  MS_AUDIT("sim.engine", "tombstone_closure",
+           next_id_ - 1 == executed_ + cancelled_ + live_,
+           "issued=" + std::to_string(next_id_ - 1) + " executed=" +
+               std::to_string(executed_) + " cancelled=" +
+               std::to_string(cancelled_) + " live=" + std::to_string(live_));
   fn();
+}
+
+bool Engine::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  fire(e);
   return true;
 }
 
@@ -65,23 +91,17 @@ void Engine::run_until(TimeNs t) {
   stopped_ = false;
   Entry e;
   while (!stopped_) {
-    if (queue_.empty()) break;
-    // Peek: find next live entry without consuming permanently.
     if (!pop_next(e)) break;
     if (e.t > t) {
       // Push it back; it stays pending.
       queue_.push(e);
       break;
     }
-    now_ = e.t;
-    auto it = callbacks_.find(e.id);
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    --live_;
-    ++executed_;
-    fn();
+    fire(e);
   }
-  if (now_ < t) now_ = t;
+  // A stop() mid-window leaves the clock at the last executed event so
+  // resuming does not skip the untouched remainder of the window.
+  if (!stopped_ && now_ < t) now_ = t;
 }
 
 }  // namespace ms::sim

@@ -2,7 +2,10 @@
 //
 // Deterministic: events at the same timestamp execute in schedule order
 // (FIFO within a timestamp), so runs are reproducible regardless of the
-// underlying priority-queue implementation.
+// underlying priority-queue implementation. Determinism is audited, not
+// just promised: every executed event is folded into digest(), and the
+// MS_AUDIT hooks check time monotonicity, FIFO ordering and tombstone
+// accounting as the run progresses (see check/audit.h).
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/digest.h"
 #include "core/time.h"
 
 namespace ms::sim {
@@ -27,7 +31,8 @@ class Engine {
   /// Current simulated time.
   TimeNs now() const { return now_; }
 
-  /// Schedules fn at absolute time t (must be >= now()).
+  /// Schedules fn at absolute time t. Scheduling into the past is an
+  /// audited invariant violation; the event is clamped to fire at now().
   EventId at(TimeNs t, std::function<void()> fn);
 
   /// Schedules fn after a relative delay (clamped to >= 0).
@@ -40,7 +45,9 @@ class Engine {
   /// Runs until the queue is drained or stop() is called.
   void run();
 
-  /// Runs events with time <= t, then sets now() = t.
+  /// Runs events with time <= t, then sets now() = t. If stop() fires
+  /// mid-run, the clock stays at the last executed event so a later
+  /// run()/run_until() resumes without losing time.
   void run_until(TimeNs t);
 
   /// Executes the single next event. Returns false if queue empty.
@@ -52,8 +59,16 @@ class Engine {
   /// Number of events executed so far (cancelled events excluded).
   std::uint64_t executed() const { return executed_; }
 
+  /// Number of events cancelled before firing.
+  std::uint64_t cancelled() const { return cancelled_; }
+
   /// Number of events currently pending (tombstones excluded).
   std::size_t pending() const { return live_; }
+
+  /// Order-sensitive digest over every executed (event id, timestamp)
+  /// pair. Two runs of the same deterministic scenario produce identical
+  /// digests; see check/digest.h.
+  std::uint64_t digest() const { return digest_.value(); }
 
  private:
   struct Entry {
@@ -65,12 +80,18 @@ class Engine {
   };
 
   bool pop_next(Entry& out);
+  /// Audits ordering invariants, folds the digest, runs the callback.
+  void fire(const Entry& e);
 
   TimeNs now_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::size_t live_ = 0;
   bool stopped_ = false;
+  TimeNs last_fired_t_ = -1;
+  EventId last_fired_id_ = 0;
+  check::Digest digest_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
   // id -> callback; erased on fire/cancel. Engine overhead is not the
   // bottleneck in our experiments, so std::unordered_map is fine here.

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/table.h"
+#include "core/units.h"
 
 namespace ms::telemetry {
 
@@ -205,8 +206,8 @@ std::string TrainingDashboard::report() const {
     t.add_row({"iteration time (mean)",
                format_duration(static_cast<TimeNs>(
                    static_cast<double>(iter_sum) / n))});
-    t.add_row({"tokens/s (last)", Table::fmt(last.tokens_per_second / 1e6, 2) +
-                                      "M"});
+    t.add_row({"tokens/s (last)",
+               Table::fmt(last.tokens_per_second / mega(1.0), 2) + "M"});
     t.add_row({"comm time exposed (mean)",
                format_duration(static_cast<TimeNs>(
                    static_cast<double>(exposed_sum) / n))});

@@ -221,8 +221,8 @@ TEST(Stream, StoreAggregatesPerRankSegment) {
   store.ingest({.rank = 0, .step = 1, .segment = "fwd", .duration = seconds(1.0)});
   store.ingest({.rank = 0, .step = 2, .segment = "fwd", .duration = seconds(3.0)});
   EXPECT_EQ(store.total_events(), 2u);
-  EXPECT_DOUBLE_EQ(store.mean_duration_s(0, "fwd"), 2.0);
-  EXPECT_DOUBLE_EQ(store.mean_duration_s(0, "bwd"), 0.0);
+  EXPECT_EQ(store.mean_duration(0, "fwd"), seconds(2.0));
+  EXPECT_EQ(store.mean_duration(0, "bwd"), 0);
 }
 
 TEST(Stream, StepDrillDown) {
@@ -264,7 +264,8 @@ TEST(Stream, MultipleProducers) {
     streamer.close();
   }
   EXPECT_EQ(store.total_events(), 1000u);
-  EXPECT_NEAR(store.mean_duration_s(2, "bwd"), 0.02, 1e-9);
+  EXPECT_NEAR(static_cast<double>(store.mean_duration(2, "bwd")),
+              static_cast<double>(milliseconds(20.0)), 1.0);
 }
 
 TEST(Stream, PublishAfterCloseFails) {

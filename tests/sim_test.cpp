@@ -129,6 +129,90 @@ TEST(Engine, PendingCountsLiveEventsOnly) {
   EXPECT_EQ(e.pending(), 1u);
 }
 
+// ------------------------------------------- tombstone accounting edges
+
+TEST(Engine, CancelOfAlreadyFiredIdFails) {
+  Engine e;
+  EventId id = e.at(seconds(1.0), [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_EQ(e.executed(), 1u);
+  EXPECT_EQ(e.cancelled(), 0u);  // a fired event is not a tombstone
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, CancelOwnEventFromItsCallbackFails) {
+  Engine e;
+  bool cancel_result = true;
+  EventId id = e.at(seconds(1.0), [&] { cancel_result = e.cancel(id); });
+  e.run();
+  // By the time the callback runs the id has fired; it is not cancellable.
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(e.executed(), 1u);
+  EXPECT_EQ(e.cancelled(), 0u);
+}
+
+TEST(Engine, PendingAfterMassCancel) {
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(e.at(seconds(1.0 + i), [] {}));
+  }
+  for (EventId id : ids) EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.cancelled(), 100u);
+  // The queue is pure tombstones now: run() must drain them without
+  // executing anything or moving the clock.
+  e.run();
+  EXPECT_EQ(e.executed(), 0u);
+  EXPECT_EQ(e.now(), 0);
+}
+
+TEST(Engine, StopDuringRunUntilFreezesClockAtLastEvent) {
+  Engine e;
+  int ran = 0;
+  e.at(seconds(1.0), [&] {
+    ++ran;
+    e.stop();
+  });
+  e.at(seconds(2.0), [&] { ++ran; });
+  e.run_until(seconds(5.0));
+  // Interrupted: the clock stays at the stop point, not the bound, so the
+  // untouched remainder of the window is not silently skipped.
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.now(), seconds(1.0));
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(seconds(5.0));  // resume the same window
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(e.now(), seconds(5.0));
+}
+
+TEST(Engine, RunUntilPastStopStillDrainsWhenResumed) {
+  Engine e;
+  e.at(seconds(1.0), [&] { e.stop(); });
+  e.run_until(seconds(0.5));  // stops at the bound before the event
+  EXPECT_EQ(e.now(), seconds(0.5));
+  EXPECT_EQ(e.executed(), 0u);
+  e.run_until(seconds(1.0));  // event at the inclusive boundary fires
+  EXPECT_EQ(e.executed(), 1u);
+  EXPECT_EQ(e.now(), seconds(1.0));
+}
+
+TEST(Engine, CancelledEventsExcludedFromDigestAndExecuted) {
+  Engine e1, e2;
+  e1.at(seconds(1.0), [] {});
+  EventId doomed = e1.at(seconds(1.0), [] {});
+  e1.cancel(doomed);
+  e1.run();
+
+  e2.at(seconds(1.0), [] {});
+  e2.run();
+  EXPECT_EQ(e1.executed(), e2.executed());
+  // Only executed events fold into the digest: both engines executed just
+  // event id 1 at t=1s, so the digests match despite the cancelled slot.
+  EXPECT_EQ(e1.digest(), e2.digest());
+}
+
 // ---------------------------------------------------------------- graph
 
 TEST(Graph, SerialChainOnOneStream) {

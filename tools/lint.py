@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Repo-specific lint: project rules the C++ compiler cannot enforce.
+
+Run from anywhere:  python3 tools/lint.py [--root <repo>] [--list-rules]
+
+Exit status is 0 when clean, 1 when any rule fires. Output is one
+`path:line: [rule] message` per violation, grep/IDE friendly.
+
+Rules
+-----
+unit-literal   Powers-of-ten scale literals (1e3/1e6/1e9/1e12/1e15) are
+               banned in src/ outside core/units.h and core/time.h. Silent
+               8x (Gb vs GB) and 1000x (ms vs us) errors live in exactly
+               these constants; units.h is the one audited home for them.
+
+raw-seconds    Public headers must not traffic in `double <name>_s` /
+               `double <name>_seconds`. Simulated time is integral TimeNs
+               (core/time.h); float seconds across API boundaries is how
+               two code paths that must coincide start to drift.
+
+test-coverage  Every .cpp under src/ must be referenced from tests/ —
+               either its header is included by some test, or its stem
+               appears in test code. Untested translation units are where
+               silent correctness drift accumulates.
+
+pragma-once    Every header under src/ uses #pragma once.
+
+Waivers
+-------
+Inline, same line or the line above the offender:
+    // ms-lint: allow(<rule>): <justification>
+Whole file, anywhere in the file:
+    // ms-lint: allow-file(<rule>): <justification>
+A justification is required; a bare waiver is itself a violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+RULES = {
+    "unit-literal": "no 1e3/1e6/1e9/1e12/1e15 scale literals outside core/units.h",
+    "raw-seconds": "no `double *_s` / `double *_seconds` in public headers; use TimeNs",
+    "test-coverage": "every src/**/*.cpp is referenced by a test",
+    "pragma-once": "every header under src/ uses #pragma once",
+}
+
+UNIT_LITERAL_RE = re.compile(r"(?<![\w.])1e\+?(?:3|6|9|12|15)\b")
+RAW_SECONDS_RE = re.compile(r"\bdouble\s+(\w+(?:_s|_sec|_seconds))\b")
+ALLOW_RE = re.compile(r"ms-lint:\s*allow\((?P<rule>[\w-]+)\)\s*:\s*\S")
+ALLOW_FILE_RE = re.compile(r"ms-lint:\s*allow-file\((?P<rule>[\w-]+)\)\s*:\s*\S")
+BARE_WAIVER_RE = re.compile(r"ms-lint:\s*allow(?:-file)?\([\w-]+\)\s*:?\s*$")
+
+# Files exempt per rule (repo-relative, forward slashes). units.h/time.h
+# are the designated homes of unit-conversion constants and the
+# seconds<->TimeNs boundary, so both rules would be self-defeating there.
+EXEMPT = {
+    "unit-literal": {"src/core/units.h", "src/core/time.h"},
+    "raw-seconds": {"src/core/time.h", "src/core/units.h"},
+}
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.violations: list[tuple[pathlib.Path, int, str, str]] = []
+
+    def report(self, path: pathlib.Path, line_no: int, rule: str, msg: str):
+        self.violations.append((path, line_no, rule, msg))
+
+    # ---------------------------------------------------------- helpers
+
+    def src_files(self, suffixes: tuple[str, ...]) -> list[pathlib.Path]:
+        src = self.root / "src"
+        return sorted(p for p in src.rglob("*") if p.suffix in suffixes)
+
+    @staticmethod
+    def file_waivers(lines: list[str]) -> set[str]:
+        waived = set()
+        for line in lines:
+            m = ALLOW_FILE_RE.search(line)
+            if m:
+                waived.add(m.group("rule"))
+        return waived
+
+    @staticmethod
+    def line_waived(lines: list[str], idx: int, rule: str) -> bool:
+        for probe in (idx, idx - 1):
+            if probe < 0:
+                continue
+            m = ALLOW_RE.search(lines[probe])
+            if m and m.group("rule") == rule:
+                return True
+        return False
+
+    # ------------------------------------------------------------ rules
+
+    def check_line_rules(self):
+        for path in self.src_files((".h", ".cpp")):
+            rel = path.relative_to(self.root).as_posix()
+            lines = path.read_text().splitlines()
+            waived_file = self.file_waivers(lines)
+            for idx, line in enumerate(lines):
+                if BARE_WAIVER_RE.search(line):
+                    self.report(path, idx + 1, "waiver",
+                                "waiver without a justification")
+                code = line.split("//", 1)[0]
+
+                rule = "unit-literal"
+                if (rel not in EXEMPT[rule] and rule not in waived_file
+                        and UNIT_LITERAL_RE.search(code)
+                        and not self.line_waived(lines, idx, rule)):
+                    self.report(
+                        path, idx + 1, rule,
+                        f"scale literal `{UNIT_LITERAL_RE.search(code).group()}`"
+                        " outside core/units.h; use the units.h helpers")
+
+                rule = "raw-seconds"
+                if path.suffix == ".h" and rel not in EXEMPT[rule] \
+                        and rule not in waived_file:
+                    m = RAW_SECONDS_RE.search(code)
+                    # `ops_per_sec`-style rates are doubles by nature; the
+                    # rule targets durations.
+                    if m and re.search(r"per_s(?:ec)?$", m.group(1)):
+                        m = None
+                    if m and not self.line_waived(lines, idx, rule):
+                        self.report(
+                            path, idx + 1, rule,
+                            f"`double {m.group(1)}` in a public header; "
+                            "simulated time crosses APIs as TimeNs")
+
+    def check_pragma_once(self):
+        for path in self.src_files((".h",)):
+            text = path.read_text()
+            if "#pragma once" not in text:
+                self.report(path, 1, "pragma-once", "header missing #pragma once")
+
+    def check_test_coverage(self):
+        tests_dir = self.root / "tests"
+        corpus = "\n".join(
+            p.read_text() for p in sorted(tests_dir.rglob("*.cpp")))
+        for path in self.src_files((".cpp",)):
+            rel = path.relative_to(self.root / "src").as_posix()
+            header = rel[:-4] + ".h"
+            stem = path.stem
+            lines = path.read_text().splitlines()
+            if "test-coverage" in self.file_waivers(lines):
+                continue
+            if f'#include "{header}"' in corpus:
+                continue
+            if re.search(rf"\b{re.escape(stem)}\b", corpus):
+                continue
+            self.report(
+                path, 1, "test-coverage",
+                f"no test includes {header} or mentions `{stem}`; add coverage"
+                " or a justified ms-lint: allow-file(test-coverage)")
+
+    # ------------------------------------------------------------ drive
+
+    def run(self) -> int:
+        self.check_line_rules()
+        self.check_pragma_once()
+        self.check_test_coverage()
+        for path, line_no, rule, msg in self.violations:
+            rel = path.relative_to(self.root).as_posix()
+            print(f"{rel}:{line_no}: [{rule}] {msg}")
+        n = len(self.violations)
+        print(f"lint: {n} violation{'s' if n != 1 else ''}"
+              f" across {len({v[0] for v in self.violations})} files"
+              if n else "lint: clean")
+        return 1 if n else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = pathlib.Path(__file__).resolve().parent.parent
+    parser.add_argument("--root", type=pathlib.Path, default=default_root,
+                        help="repository root (default: tools/..)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+#include "chaos/campaign.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "telemetry/metrics.h"
+
+namespace ms::chaos {
+
+OracleVerdict evaluate_outcome(const ChaosConfig& cfg,
+                               const OutcomeRecord& record) {
+  OracleVerdict verdict;
+  char buf[160];
+  if (record.undetected_faults > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "%d injected fail-stop(s) were never detected "
+                  "(detection hole in the recovery path)",
+                  record.undetected_faults);
+    verdict.pass = false;
+    verdict.reason = buf;
+    return verdict;
+  }
+  if (record.effective_time_ratio < cfg.min_effective_ratio) {
+    std::snprintf(buf, sizeof buf,
+                  "effective-time ratio %.3f below the %.3f floor",
+                  record.effective_time_ratio, cfg.min_effective_ratio);
+    verdict.pass = false;
+    verdict.reason = buf;
+    return verdict;
+  }
+  if (record.nccl_errors > 0 && record.restarts == 0 &&
+      record.undetected_faults == 0) {
+    // A flap aborted NCCL but no recovery ever ran — the abort was lost.
+    verdict.pass = false;
+    verdict.reason = "NCCL abort produced no restart";
+    return verdict;
+  }
+  return verdict;
+}
+
+FaultSchedule shrink_schedule(const ChaosConfig& cfg,
+                              const std::string& scenario_name,
+                              std::uint64_t seed,
+                              const FaultSchedule& failing) {
+  auto fails = [&](const FaultSchedule& candidate) {
+    const auto record = run_schedule(cfg, scenario_name, seed, candidate);
+    return !evaluate_outcome(cfg, record).pass;
+  };
+  FaultSchedule current = failing;
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t n = current.size();
+    granularity = std::min(granularity, n);
+    const std::size_t chunk = (n + granularity - 1) / granularity;
+    bool reduced = false;
+    // Try each complement (drop one chunk at a time).
+    for (std::size_t start = 0; start < n; start += chunk) {
+      FaultSchedule complement;
+      complement.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i < start || i >= start + chunk) complement.push_back(current[i]);
+      }
+      if (!complement.empty() && fails(complement)) {
+        current = std::move(complement);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= n) break;  // 1-minimal
+      granularity = std::min(n, granularity * 2);
+    }
+  }
+  return current;
+}
+
+std::string repro_command(const std::string& scenario_name, std::uint64_t seed,
+                          bool canary) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "chaos_campaign --scenario %s --seed %" PRIu64
+                                 "%s",
+                scenario_name.c_str(), seed, canary ? " --canary" : "");
+  return buf;
+}
+
+CampaignResult run_campaign(const ChaosConfig& cfg, const Scenario& scenario,
+                            std::uint64_t base_seed, int n_seeds) {
+  CampaignResult result;
+  result.scenario = scenario.name;
+  result.base_seed = base_seed;
+  result.seeds = n_seeds;
+  for (int i = 0; i < n_seeds; ++i) {
+    const std::uint64_t seed =
+        derive_seed(base_seed, "chaos.campaign", static_cast<std::uint64_t>(i));
+    const auto schedule = generate_schedule(cfg, scenario, seed);
+    auto record = run_schedule(cfg, scenario.name, seed, schedule);
+    const auto verdict = evaluate_outcome(cfg, record);
+    if (cfg.metrics != nullptr) {
+      cfg.metrics
+          ->counter("chaos_runs_total",
+                    {{"scenario", scenario.name},
+                     {"outcome", verdict.pass ? "pass" : "fail"}})
+          .add();
+    }
+    if (verdict.pass) {
+      ++result.passed;
+    } else {
+      CampaignFailure failure;
+      failure.seed = seed;
+      failure.record = record;
+      failure.reason = verdict.reason;
+      failure.minimized = shrink_schedule(cfg, scenario.name, seed, schedule);
+      failure.minimized_record =
+          run_schedule(cfg, scenario.name, seed, failure.minimized);
+      failure.repro = repro_command(scenario.name, seed, cfg.canary);
+      result.failures.push_back(std::move(failure));
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+std::string write_failure_artifact(const std::string& dir,
+                                   const CampaignFailure& failure) {
+  char name[128];
+  std::snprintf(name, sizeof name, "chaos-%s-seed%" PRIu64 ".json",
+                failure.record.scenario.c_str(), failure.seed);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "{\n  \"reason\": \"" << failure.reason << "\",\n";
+  out << "  \"repro\": \"" << failure.repro << "\",\n";
+  out << "  \"record\": " << to_json(failure.record) << ",\n";
+  out << "  \"minimized_record\": " << to_json(failure.minimized_record)
+      << ",\n";
+  out << "  \"minimized_schedule\": [\n";
+  for (std::size_t i = 0; i < failure.minimized.size(); ++i) {
+    out << "    \"" << describe(failure.minimized[i]) << "\""
+        << (i + 1 < failure.minimized.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good() ? path : "";
+}
+
+}  // namespace ms::chaos

@@ -1,0 +1,301 @@
+#include "chaos/outcome.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "check/digest.h"
+
+namespace ms::chaos {
+
+namespace {
+
+void fold_double(check::Digest& digest, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  digest.fold(bits);
+}
+
+void fold_latency(check::Digest& digest, const LatencyStats& stats) {
+  digest.fold(static_cast<std::int64_t>(stats.count));
+  digest.fold(stats.mean);
+  digest.fold(stats.p50);
+  digest.fold(stats.p95);
+  digest.fold(stats.max);
+}
+
+}  // namespace
+
+std::uint64_t compute_record_digest(const OutcomeRecord& record) {
+  check::Digest digest;
+  digest.fold(std::string_view(record.scenario));
+  digest.fold(record.seed);
+  fold_double(digest, record.effective_time_ratio);
+  fold_double(digest, record.slowdown_factor);
+  digest.fold(static_cast<std::int64_t>(record.faults_injected));
+  digest.fold(static_cast<std::int64_t>(record.restarts));
+  digest.fold(static_cast<std::int64_t>(record.undetected_faults));
+  digest.fold(record.steps_lost);
+  fold_latency(digest, record.detect_latency);
+  fold_latency(digest, record.recovery_latency);
+  digest.fold(record.ckpt_stall_total);
+  digest.fold(record.flap_stall_total);
+  digest.fold(static_cast<std::int64_t>(record.nccl_errors));
+  fold_double(digest, record.pfc_pause_fraction);
+  fold_double(digest, record.ecmp_conflict_fraction);
+  digest.fold(static_cast<std::int64_t>(record.spare_pool_exhausted));
+  digest.fold(record.schedule_digest);
+  digest.fold(record.engine_digest);
+  return digest.value();
+}
+
+bool identical(const OutcomeRecord& a, const OutcomeRecord& b) {
+  return a.scenario == b.scenario && a.seed == b.seed &&
+         compute_record_digest(a) == compute_record_digest(b) &&
+         a.record_digest == b.record_digest;
+}
+
+namespace {
+
+void diff_close(std::vector<std::string>& out, const char* field, double got,
+                double want, double tol) {
+  if (std::fabs(got - want) > tol) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s: got %.6g, want %.6g (tol %.3g)", field,
+                  got, want, tol);
+    out.push_back(buf);
+  }
+}
+
+void diff_exact(std::vector<std::string>& out, const char* field,
+                std::int64_t got, std::int64_t want) {
+  if (got != want) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s: got %" PRId64 ", want %" PRId64, field,
+                  got, want);
+    out.push_back(buf);
+  }
+}
+
+void diff_latency(std::vector<std::string>& out, const char* prefix,
+                  const LatencyStats& got, const LatencyStats& want,
+                  double frac) {
+  std::string name = std::string(prefix) + ".count";
+  diff_exact(out, name.c_str(), got.count, want.count);
+  const auto close = [&](const char* leaf, TimeNs g, TimeNs w) {
+    // Relative slack plus 1 ms absolute so near-zero latencies don't flap.
+    const double tol = frac * static_cast<double>(w < 0 ? -w : w) +
+                       static_cast<double>(milliseconds(1.0));
+    name = std::string(prefix) + "." + leaf;
+    diff_close(out, name.c_str(), static_cast<double>(g), static_cast<double>(w),
+               tol);
+  };
+  close("mean", got.mean, want.mean);
+  close("p50", got.p50, want.p50);
+  close("p95", got.p95, want.p95);
+  close("max", got.max, want.max);
+}
+
+}  // namespace
+
+std::vector<std::string> diff_outcomes(const OutcomeRecord& got,
+                                       const OutcomeRecord& want,
+                                       const Tolerance& tol) {
+  std::vector<std::string> out;
+  if (got.scenario != want.scenario) {
+    out.push_back("scenario: got " + got.scenario + ", want " + want.scenario);
+  }
+  diff_exact(out, "seed", static_cast<std::int64_t>(got.seed),
+             static_cast<std::int64_t>(want.seed));
+  diff_close(out, "effective_time_ratio", got.effective_time_ratio,
+             want.effective_time_ratio, tol.ratio);
+  diff_close(out, "slowdown_factor", got.slowdown_factor, want.slowdown_factor,
+             tol.ratio);
+  diff_exact(out, "faults_injected", got.faults_injected, want.faults_injected);
+  diff_exact(out, "restarts", got.restarts, want.restarts);
+  diff_exact(out, "undetected_faults", got.undetected_faults,
+             want.undetected_faults);
+  diff_exact(out, "steps_lost", got.steps_lost, want.steps_lost);
+  diff_latency(out, "detect_latency", got.detect_latency, want.detect_latency,
+               tol.latency_frac);
+  diff_latency(out, "recovery_latency", got.recovery_latency,
+               want.recovery_latency, tol.latency_frac);
+  diff_exact(out, "nccl_errors", got.nccl_errors, want.nccl_errors);
+  diff_close(out, "pfc_pause_fraction", got.pfc_pause_fraction,
+             want.pfc_pause_fraction, tol.ratio);
+  diff_close(out, "ecmp_conflict_fraction", got.ecmp_conflict_fraction,
+             want.ecmp_conflict_fraction, tol.ratio);
+  diff_exact(out, "spare_pool_exhausted", got.spare_pool_exhausted,
+             want.spare_pool_exhausted);
+  return out;
+}
+
+// ------------------------------------------------------------------ JSON
+
+namespace {
+
+void emit(std::string& out, const char* key, double v, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.17g%s", key, v, last ? "" : ",");
+  out += buf;
+}
+
+void emit_i(std::string& out, const char* key, std::int64_t v,
+            bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRId64 "%s", key, v,
+                last ? "" : ",");
+  out += buf;
+}
+
+void emit_hex(std::string& out, const char* key, std::uint64_t v,
+              bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\":\"0x%016" PRIx64 "\"%s", key, v,
+                last ? "" : ",");
+  out += buf;
+}
+
+void emit_latency(std::string& out, const char* key, const LatencyStats& s) {
+  out += '"';
+  out += key;
+  out += "\":{";
+  emit_i(out, "count", s.count);
+  emit_i(out, "mean_ns", s.mean);
+  emit_i(out, "p50_ns", s.p50);
+  emit_i(out, "p95_ns", s.p95);
+  emit_i(out, "max_ns", s.max, /*last=*/true);
+  out += "},";
+}
+
+/// Scans for `"key":` and returns the raw token after it (number or quoted
+/// string without quotes). Only good for the flat objects we emit.
+bool scan_token(const std::string& text, const std::string& key,
+                std::string& token) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  std::size_t i = pos + needle.size();
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\n')) ++i;
+  if (i >= text.size()) return false;
+  if (text[i] == '"') {
+    const auto end = text.find('"', i + 1);
+    if (end == std::string::npos) return false;
+    token = text.substr(i + 1, end - i - 1);
+    return true;
+  }
+  std::size_t end = i;
+  while (end < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[end])) ||
+          text[end] == '-' || text[end] == '+' || text[end] == '.' ||
+          text[end] == 'e' || text[end] == 'E')) {
+    ++end;
+  }
+  if (end == i) return false;
+  token = text.substr(i, end - i);
+  return true;
+}
+
+bool scan_d(const std::string& text, const std::string& key, double& v) {
+  std::string token;
+  if (!scan_token(text, key, token)) return false;
+  v = std::strtod(token.c_str(), nullptr);
+  return true;
+}
+
+bool scan_i(const std::string& text, const std::string& key, std::int64_t& v) {
+  std::string token;
+  if (!scan_token(text, key, token)) return false;
+  v = std::strtoll(token.c_str(), nullptr, 10);
+  return true;
+}
+
+bool scan_u(const std::string& text, const std::string& key, std::uint64_t& v) {
+  std::string token;
+  if (!scan_token(text, key, token)) return false;
+  v = std::strtoull(token.c_str(), nullptr, 0);  // handles 0x... and decimal
+  return true;
+}
+
+bool scan_latency(const std::string& text, const std::string& key,
+                  LatencyStats& s) {
+  const std::string needle = "\"" + key + "\":{";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  const auto end = text.find('}', pos);
+  if (end == std::string::npos) return false;
+  const std::string body = text.substr(pos, end - pos + 1);
+  std::int64_t count = 0;
+  if (!scan_i(body, "count", count)) return false;
+  s.count = static_cast<int>(count);
+  return scan_i(body, "mean_ns", s.mean) && scan_i(body, "p50_ns", s.p50) &&
+         scan_i(body, "p95_ns", s.p95) && scan_i(body, "max_ns", s.max);
+}
+
+}  // namespace
+
+std::string to_json(const OutcomeRecord& r) {
+  std::string out = "{";
+  out += "\"scenario\":\"" + r.scenario + "\",";
+  emit_i(out, "seed", static_cast<std::int64_t>(r.seed));
+  emit(out, "effective_time_ratio", r.effective_time_ratio);
+  emit(out, "slowdown_factor", r.slowdown_factor);
+  emit_i(out, "faults_injected", r.faults_injected);
+  emit_i(out, "restarts", r.restarts);
+  emit_i(out, "undetected_faults", r.undetected_faults);
+  emit_i(out, "steps_lost", r.steps_lost);
+  emit_latency(out, "detect_latency", r.detect_latency);
+  emit_latency(out, "recovery_latency", r.recovery_latency);
+  emit_i(out, "ckpt_stall_total_ns", r.ckpt_stall_total);
+  emit_i(out, "flap_stall_total_ns", r.flap_stall_total);
+  emit_i(out, "nccl_errors", r.nccl_errors);
+  emit(out, "pfc_pause_fraction", r.pfc_pause_fraction);
+  emit(out, "ecmp_conflict_fraction", r.ecmp_conflict_fraction);
+  emit_i(out, "spare_pool_exhausted", r.spare_pool_exhausted);
+  emit_hex(out, "schedule_digest", r.schedule_digest);
+  emit_hex(out, "engine_digest", r.engine_digest);
+  emit_hex(out, "record_digest", r.record_digest, /*last=*/true);
+  out += "}";
+  return out;
+}
+
+bool from_json(const std::string& text, OutcomeRecord& out) {
+  OutcomeRecord r;
+  std::int64_t seed = 0, faults = 0, restarts = 0, undetected = 0, nccl = 0,
+               spares = 0;
+  if (!scan_token(text, "scenario", r.scenario)) return false;
+  if (!scan_i(text, "seed", seed)) return false;
+  r.seed = static_cast<std::uint64_t>(seed);
+  if (!scan_d(text, "effective_time_ratio", r.effective_time_ratio) ||
+      !scan_d(text, "slowdown_factor", r.slowdown_factor) ||
+      !scan_i(text, "faults_injected", faults) ||
+      !scan_i(text, "restarts", restarts) ||
+      !scan_i(text, "undetected_faults", undetected) ||
+      !scan_i(text, "steps_lost", r.steps_lost) ||
+      !scan_latency(text, "detect_latency", r.detect_latency) ||
+      !scan_latency(text, "recovery_latency", r.recovery_latency) ||
+      !scan_i(text, "ckpt_stall_total_ns", r.ckpt_stall_total) ||
+      !scan_i(text, "flap_stall_total_ns", r.flap_stall_total) ||
+      !scan_i(text, "nccl_errors", nccl) ||
+      !scan_d(text, "pfc_pause_fraction", r.pfc_pause_fraction) ||
+      !scan_d(text, "ecmp_conflict_fraction", r.ecmp_conflict_fraction) ||
+      !scan_i(text, "spare_pool_exhausted", spares) ||
+      !scan_u(text, "schedule_digest", r.schedule_digest) ||
+      !scan_u(text, "engine_digest", r.engine_digest) ||
+      !scan_u(text, "record_digest", r.record_digest)) {
+    return false;
+  }
+  r.faults_injected = static_cast<int>(faults);
+  r.restarts = static_cast<int>(restarts);
+  r.undetected_faults = static_cast<int>(undetected);
+  r.nccl_errors = static_cast<int>(nccl);
+  r.spare_pool_exhausted = static_cast<int>(spares);
+  out = r;
+  return true;
+}
+
+}  // namespace ms::chaos

@@ -1,0 +1,88 @@
+// Outcome records: the scored result of one chaos run.
+//
+// A record is the falsifiable unit of the §4 resilience claim: it carries
+// the effective-time ratio (paper: > 90% over weeks in production), the
+// detection/recovery latency distributions, the progress lost to restarts,
+// and the determinism digests that make a reported failing seed exactly
+// reproducible. Records serialize to JSON for golden-scenario regression
+// tests and failing-seed repro artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+
+namespace ms::chaos {
+
+/// Summary of a latency sample set (detection or recovery).
+struct LatencyStats {
+  int count = 0;
+  TimeNs mean = 0;
+  TimeNs p50 = 0;
+  TimeNs p95 = 0;
+  TimeNs max = 0;
+};
+
+struct OutcomeRecord {
+  std::string scenario;
+  std::uint64_t seed = 0;
+
+  // ---- the headline §4 number and its decomposition -------------------
+  /// Fraction of wall-clock the job spent making forward progress at full
+  /// speed: driver training fraction x 1/slowdown x (1 - stall/lost
+  /// fraction). The paper reports > 90% in production.
+  double effective_time_ratio = 1.0;
+  /// Critical-path stretch from stragglers + fabric degradation (>= 1).
+  double slowdown_factor = 1.0;
+
+  // ---- incident accounting --------------------------------------------
+  int faults_injected = 0;
+  int restarts = 0;          ///< incidents that went through full recovery
+  int undetected_faults = 0; ///< fail-stops never alarmed (detection hole)
+  std::int64_t steps_lost = 0;  ///< redone since last checkpoint, in steps
+  LatencyStats detect_latency;
+  LatencyStats recovery_latency;
+
+  // ---- per-failure-class observables ----------------------------------
+  TimeNs ckpt_stall_total = 0;
+  TimeNs flap_stall_total = 0;
+  int nccl_errors = 0;               ///< flap episodes that aborted NCCL
+  double pfc_pause_fraction = 0;     ///< worst storm's measured pause time
+  double ecmp_conflict_fraction = 0; ///< worst rehash's conflicted flows
+  int spare_pool_exhausted = 0;
+
+  // ---- determinism ----------------------------------------------------
+  std::uint64_t schedule_digest = 0;  ///< digest of the injected schedule
+  std::uint64_t engine_digest = 0;    ///< driver-sim Engine::digest()
+  std::uint64_t record_digest = 0;    ///< digest over every field above
+};
+
+/// Recomputes record_digest from every other field (order-sensitive).
+std::uint64_t compute_record_digest(const OutcomeRecord& record);
+
+/// Bit-exact equality over every field — the reproducibility bar for
+/// re-running a reported failing seed.
+bool identical(const OutcomeRecord& a, const OutcomeRecord& b);
+
+/// Tolerances for golden-scenario diffs: ratios compare within `ratio`,
+/// latencies within `latency_frac` relative error (plus 1 ms absolute
+/// slack); counts and digests compare exactly.
+struct Tolerance {
+  double ratio = 0.02;
+  double latency_frac = 0.05;
+};
+
+/// Every mismatch as "field: got X, want Y"; empty means within tolerance.
+std::vector<std::string> diff_outcomes(const OutcomeRecord& got,
+                                       const OutcomeRecord& want,
+                                       const Tolerance& tol);
+
+/// One JSON object (stable key order, whole-record round-trippable).
+std::string to_json(const OutcomeRecord& record);
+
+/// Parses what to_json emitted. Returns false on malformed input.
+bool from_json(const std::string& text, OutcomeRecord& out);
+
+}  // namespace ms::chaos

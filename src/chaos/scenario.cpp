@@ -1,0 +1,205 @@
+#include "chaos/scenario.h"
+
+#include <algorithm>
+
+#include "ft/faults.h"
+#include "net/flap.h"
+
+namespace ms::chaos {
+
+namespace {
+
+InjectedFault fail_stop(TimeNs at, int node, ft::FaultType type) {
+  InjectedFault f;
+  f.at = at;
+  f.kind = FaultKind::kFailStop;
+  f.node = node;
+  f.fail_type = type;
+  return f;
+}
+
+/// Draws a fail-stop type from the paper's production mix. Silent
+/// stragglers (kSlowGpu) are excluded — the chaos schedule models them as
+/// FaultKind::kStraggler, since they degrade throughput rather than
+/// fail-stop the process.
+ft::FaultType draw_fail_type(Rng& rng) {
+  const auto mix = ft::default_fault_mix();
+  double total = 0;
+  for (const auto& entry : mix) {
+    if (entry.type != ft::FaultType::kSlowGpu) total += entry.weight;
+  }
+  double x = rng.uniform(0, total);
+  for (const auto& entry : mix) {
+    if (entry.type == ft::FaultType::kSlowGpu) continue;
+    if ((x -= entry.weight) <= 0) return entry.type;
+  }
+  return ft::FaultType::kCudaError;
+}
+
+/// Jitters `t` by +/- `spread` while staying inside [0, cfg.duration).
+TimeNs jitter(const ChaosConfig& cfg, TimeNs t, TimeNs spread, Rng& rng) {
+  const TimeNs lo = std::max<TimeNs>(0, t - spread);
+  const TimeNs hi = std::min(cfg.duration - 1, t + spread);
+  return rng.uniform_int(lo, hi);
+}
+
+// ------------------------------------------------------ the six canonical
+
+FaultSchedule gen_clean(const ChaosConfig&, Rng&) { return {}; }
+
+/// §4.1: one explicit fail-stop in the middle of a healthy stretch.
+FaultSchedule gen_failstop_midstep(const ChaosConfig& cfg, Rng& rng) {
+  FaultSchedule schedule;
+  const TimeNs mid = cfg.duration / 2;
+  schedule.push_back(fail_stop(
+      jitter(cfg, mid, cfg.duration / 10, rng),
+      static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(cfg.nodes))),
+      draw_fail_type(rng)));
+  return schedule;
+}
+
+/// §3.6: a NIC flaps repeatedly while an all-gather is in flight.
+FaultSchedule gen_allgather_flap(const ChaosConfig& cfg, Rng& rng) {
+  FaultSchedule schedule;
+  const auto flaps = net::draw_flap_schedule(
+      cfg.duration, /*mean_gap=*/cfg.duration / 4, /*mean_down=*/seconds(5.0),
+      rng);
+  const int link =
+      static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(cfg.nodes)));
+  for (const auto& flap : flaps) {
+    InjectedFault f;
+    f.at = flap.down_at;
+    f.kind = FaultKind::kLinkFlap;
+    f.node = link;
+    f.duration = flap.down_duration;
+    schedule.push_back(f);
+  }
+  return schedule;
+}
+
+/// §5.1 + §4.4: a silently slow machine while the checkpoint writer stalls.
+FaultSchedule gen_straggler_ckpt_stall(const ChaosConfig& cfg, Rng& rng) {
+  FaultSchedule schedule;
+  InjectedFault straggler;
+  straggler.at = jitter(cfg, cfg.duration / 5, cfg.duration / 20, rng);
+  straggler.kind = FaultKind::kStraggler;
+  straggler.node =
+      static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(cfg.nodes)));
+  straggler.magnitude = rng.uniform(0.08, 0.15);  // the paper's ~10% hosts
+  schedule.push_back(straggler);
+  for (int i = 1; i <= 2; ++i) {
+    InjectedFault stall;
+    stall.at = jitter(cfg, cfg.duration * i / 3, cfg.duration / 20, rng);
+    stall.kind = FaultKind::kCkptStall;
+    stall.duration = seconds(rng.uniform(90.0, 300.0));
+    schedule.push_back(stall);
+  }
+  return schedule;
+}
+
+/// §3.6: successive path rehashes, each re-rolling every flow's ECMP luck.
+FaultSchedule gen_ecmp_cascade(const ChaosConfig& cfg, Rng& rng) {
+  FaultSchedule schedule;
+  for (int round = 1; round <= 3; ++round) {
+    InjectedFault f;
+    f.at = jitter(cfg, cfg.duration * (round + 2) / 8, cfg.duration / 30, rng);
+    f.kind = FaultKind::kEcmpRehash;
+    f.node = static_cast<int>(rng.next_u64() >> 40);  // rehash entropy
+    schedule.push_back(f);
+  }
+  return schedule;
+}
+
+/// §3.6: incast pressure ramps until PFC pauses the whole port group.
+FaultSchedule gen_pfc_storm(const ChaosConfig& cfg, Rng& rng) {
+  FaultSchedule schedule;
+  for (int i = 0; i < 2; ++i) {
+    InjectedFault f;
+    f.at = jitter(cfg, cfg.duration * (2 * i + 1) / 4, cfg.duration / 16, rng);
+    f.kind = FaultKind::kPfcStorm;
+    f.magnitude = rng.uniform(0.4, 1.0);
+    schedule.push_back(f);
+  }
+  return schedule;
+}
+
+/// Everything at once: Poisson arrivals over every failure class. The
+/// campaign workhorse — wide enough that shrinking a failure inside it is
+/// a real exercise.
+FaultSchedule gen_mixed(const ChaosConfig& cfg, Rng& rng) {
+  FaultSchedule schedule;
+  TimeNs t = 0;
+  while (true) {
+    t += seconds(rng.exponential(to_seconds(cfg.duration / 8)));
+    if (t >= cfg.duration) break;
+    const double x = rng.uniform();
+    InjectedFault f;
+    f.at = t;
+    if (x < 0.45) {
+      f = fail_stop(t,
+                    static_cast<int>(rng.uniform_index(
+                        static_cast<std::uint64_t>(cfg.nodes))),
+                    draw_fail_type(rng));
+    } else if (x < 0.60) {
+      f.kind = FaultKind::kStraggler;
+      f.node = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(cfg.nodes)));
+      f.magnitude = rng.uniform(0.05, 0.20);
+    } else if (x < 0.75) {
+      f.kind = FaultKind::kLinkFlap;
+      f.node = static_cast<int>(
+          rng.uniform_index(static_cast<std::uint64_t>(cfg.nodes)));
+      f.duration = seconds(rng.lognormal(1.0, 0.8));
+    } else if (x < 0.85) {
+      f.kind = FaultKind::kCkptStall;
+      f.duration = seconds(rng.uniform(60.0, 240.0));
+    } else if (x < 0.93) {
+      f.kind = FaultKind::kPfcStorm;
+      f.magnitude = rng.uniform(0.3, 1.0);
+    } else {
+      f.kind = FaultKind::kEcmpRehash;
+      f.node = static_cast<int>(rng.next_u64() >> 40);
+    }
+    schedule.push_back(f);
+  }
+  return schedule;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"clean", "no faults: the effective-time baseline", gen_clean},
+      {"failstop-midstep", "single fail-stop mid-window (§4.1 figure 5 path)",
+       gen_failstop_midstep},
+      {"allgather-flap", "NIC flaps during an all-gather (§3.6 adap_retrans)",
+       gen_allgather_flap},
+      {"straggler-ckpt-stall",
+       "silent straggler + checkpoint-write stalls (§5.1 + §4.4)",
+       gen_straggler_ckpt_stall},
+      {"ecmp-cascade", "cascading ECMP rehash rounds (§3.6 hashing conflicts)",
+       gen_ecmp_cascade},
+      {"pfc-storm", "incast ECN/PFC storms (§3.6 congestion control)",
+       gen_pfc_storm},
+      {"mixed", "every failure class, Poisson arrivals (campaign workhorse)",
+       gen_mixed},
+  };
+  return kScenarios;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const auto& scenario : scenarios()) {
+    if (name == scenario.name) return &scenario;
+  }
+  return nullptr;
+}
+
+FaultSchedule generate_schedule(const ChaosConfig& cfg,
+                                const Scenario& scenario, std::uint64_t seed) {
+  Rng rng(derive_seed(seed, std::string("chaos.schedule.") + scenario.name));
+  FaultSchedule schedule = scenario.generate(cfg, rng);
+  sort_schedule(schedule);
+  return schedule;
+}
+
+}  // namespace ms::chaos

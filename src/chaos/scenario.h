@@ -1,0 +1,38 @@
+// Named chaos scenarios (the campaign's vocabulary).
+//
+// Each scenario is a seeded generator: (config, rng) -> FaultSchedule. The
+// six canonical ones freeze the failure stories MegaScale §3.6/§4/§5 tells
+// from production; `mixed` draws from every class at once and is the
+// campaign/shrinker workhorse. Generators are pure functions of the rng
+// stream, so one root seed reproduces the exact schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/config.h"
+#include "chaos/schedule.h"
+#include "core/rng.h"
+
+namespace ms::chaos {
+
+struct Scenario {
+  const char* name;
+  const char* summary;
+  FaultSchedule (*generate)(const ChaosConfig& cfg, Rng& rng);
+};
+
+/// The registry, in documentation order: clean, failstop-midstep,
+/// allgather-flap, straggler-ckpt-stall, ecmp-cascade, pfc-storm, mixed.
+const std::vector<Scenario>& scenarios();
+
+/// nullptr when unknown.
+const Scenario* find_scenario(const std::string& name);
+
+/// The canonical entry point: derives the scenario's schedule stream from
+/// `seed` (core derive_seed, domain "chaos.schedule.<name>") and returns
+/// the sorted schedule.
+FaultSchedule generate_schedule(const ChaosConfig& cfg,
+                                const Scenario& scenario, std::uint64_t seed);
+
+}  // namespace ms::chaos

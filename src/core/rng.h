@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace ms {
@@ -19,6 +20,30 @@ constexpr std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+/// Derives an independent, reproducible sub-seed from one root seed.
+///
+/// Multi-component experiments (fault injection, flap schedules, straggler
+/// placement, diagnostic draws, ...) must be reproducible from a SINGLE
+/// seed, yet each component needs its own stream so that adding draws in
+/// one component does not perturb another. Components therefore never
+/// invent literal seeds; they derive them by (root, domain, index):
+///
+///   Rng faults(derive_seed(seed, "chaos.faults"));
+///   Rng flaps(derive_seed(seed, "chaos.flaps", link));
+///
+/// The domain string is folded FNV-1a-style, then mixed with the root and
+/// index through splitmix64, so distinct domains and indices give
+/// uncorrelated streams while the mapping stays stable across platforms.
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::string_view domain,
+                                    std::uint64_t index = 0) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : domain) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(splitmix64(root ^ h) + splitmix64(index ^ (h << 1)));
 }
 
 /// Deterministic, explicitly seeded random generator (xoshiro256**).

@@ -191,8 +191,13 @@ DriverSimReport run_driver_sim(const DriverSimConfig& cfg, TimeNs duration,
 
   engine.run_until(duration);
   sim.leave_training();
+  if (sim.state != DriverState::kTraining) {
+    sim.report.in_flight.push_back(sim.current);
+  }
 
   sim.report.total_time = duration;
+  sim.report.engine_digest = engine.digest();
+  sim.report.events_executed = engine.executed();
   sim.report.effective_fraction =
       static_cast<double>(sim.report.training_time) /
       static_cast<double>(duration);

@@ -56,11 +56,21 @@ struct DriverIncident {
 
 struct DriverSimReport {
   std::vector<DriverIncident> incidents;
+  /// The incident still being handled when the window closed (resumed_at
+  /// stays -1); empty when the run ended in kTraining. Campaign oracles
+  /// need it to tell "recovery in progress" from "fault never detected".
+  std::vector<DriverIncident> in_flight;
   TimeNs total_time = 0;
   TimeNs training_time = 0;  // time spent in kTraining
   double effective_fraction = 0;
   int spare_pool_exhausted_events = 0;
   std::uint64_t heartbeats_processed = 0;
+  /// Order-sensitive digest of the event program (Engine::digest()) plus
+  /// the executed-event count: two runs of the same seeded scenario must
+  /// agree bit-for-bit. The chaos harness folds this into its outcome
+  /// records so replayed failing seeds can be compared exactly.
+  std::uint64_t engine_digest = 0;
+  std::uint64_t events_executed = 0;
 };
 
 /// Runs the protocol for `duration` with the given fault schedule.

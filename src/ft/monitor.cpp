@@ -55,7 +55,19 @@ std::optional<Alarm> AnomalyDetector::feed(const Heartbeat& hb) {
   }
 
   if (state.rdma_baseline < 0) {
-    state.rdma_baseline = hb.rdma_gbps;
+    // Only healthy-looking traffic seeds the baseline; a node that is
+    // already dark when the detector first sees it (NIC failed before
+    // executors re-registered) must not lock in a zero baseline that
+    // disables the silence check forever.
+    if (hb.rdma_gbps > 0) {
+      state.rdma_baseline = hb.rdma_gbps;
+    } else if (++state.dead_first_samples >= cfg_.cold_start_dead_beats) {
+      state.alarmed = true;
+      Alarm alarm{AlarmKind::kRdmaSilence, hb.node, hb.at,
+                  "RDMA traffic absent since registration", false};
+      count_alarm(alarm);
+      return alarm;
+    }
     return std::nullopt;
   }
   const double baseline = state.rdma_baseline;

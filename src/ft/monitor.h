@@ -56,6 +56,12 @@ struct DetectorConfig {
   double rdma_silence_fraction = 0.05;
   /// Traffic below this fraction is abnormal -> warning.
   double rdma_warning_fraction = 0.6;
+  /// Cold-start: a node whose traffic is zero from its very first samples
+  /// (e.g. its NIC died before the detector re-registered it after a
+  /// recovery) never establishes a baseline for the relative checks above.
+  /// After this many consecutive zero-traffic samples with no baseline,
+  /// the node alarms as silent outright.
+  int cold_start_dead_beats = 3;
   std::vector<std::string> error_keywords = {
       "CUDA error", "segmentation fault", "ECC error", "NCCL timeout"};
 };
@@ -82,6 +88,7 @@ class AnomalyDetector {
   struct NodeState {
     TimeNs last_beat = 0;
     double rdma_baseline = -1;  // EWMA of healthy traffic
+    int dead_first_samples = 0;  // zero-traffic beats before any baseline
     bool alarmed = false;
   };
   void count_alarm(const Alarm& alarm);

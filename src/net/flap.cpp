@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace ms::net {
 
@@ -74,6 +75,28 @@ FlapOutcome simulate_transfer_with_flaps(Bytes size, Bandwidth bw,
   out.completed = true;
   out.finish_time = now;
   return out;
+}
+
+std::vector<FlapEvent> draw_flap_schedule(TimeNs duration, TimeNs mean_gap,
+                                          TimeNs mean_down, Rng& rng) {
+  assert(mean_gap > 0 && mean_down > 0);
+  std::vector<FlapEvent> flaps;
+  // Lognormal with sigma 0.6 whose mean equals mean_down:
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  constexpr double kSigma = 0.6;
+  const double mu = std::log(to_seconds(mean_down)) - kSigma * kSigma / 2.0;
+  TimeNs t = 0;
+  while (true) {
+    t += seconds(rng.exponential(to_seconds(mean_gap)));
+    if (t >= duration) break;
+    FlapEvent flap;
+    flap.down_at = t;
+    flap.down_duration = std::max<TimeNs>(
+        milliseconds(1.0), seconds(rng.lognormal(mu, kSigma)));
+    flaps.push_back(flap);
+    t = flap.up_at();  // keep episodes non-overlapping
+  }
+  return flaps;
 }
 
 }  // namespace ms::net

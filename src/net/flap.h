@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "core/rng.h"
 #include "core/time.h"
 #include "core/units.h"
 
@@ -54,5 +55,13 @@ struct FlapOutcome {
 FlapOutcome simulate_transfer_with_flaps(Bytes size, Bandwidth bw,
                                          const std::vector<FlapEvent>& flaps,
                                          const RetransConfig& cfg);
+
+/// Draws a sorted, non-overlapping flap schedule over [0, duration):
+/// episodes arrive with exponential inter-arrival around `mean_gap`; each
+/// down-time is lognormal around `mean_down` (production flaps are seconds
+/// with a heavy tail). Callers derive `rng` from their experiment's root
+/// seed (core derive_seed) so the schedule is reproducible from one seed.
+std::vector<FlapEvent> draw_flap_schedule(TimeNs duration, TimeNs mean_gap,
+                                          TimeNs mean_down, Rng& rng);
 
 }  // namespace ms::net

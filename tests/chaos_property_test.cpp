@@ -1,0 +1,83 @@
+// Property tests for the chaos harness (label: chaos).
+//
+// Two families:
+//   * determinism — same (config, scenario, seed) must reproduce the exact
+//     OutcomeRecord, engine digest included, run after run;
+//   * monotonicity — injecting MORE faults never increases the
+//     effective-time ratio: every prefix of a canonical schedule scores at
+//     least as well as any longer prefix.
+#include <gtest/gtest.h>
+
+#include "chaos/outcome.h"
+#include "chaos/runner.h"
+#include "chaos/scenario.h"
+#include "support/builders.h"
+#include "support/digest.h"
+
+namespace ms::chaos {
+namespace {
+
+using testsupport::small_chaos_config;
+
+TEST(ChaosProperty, EveryScenarioIsSeedDeterministic) {
+  const auto cfg = small_chaos_config();
+  for (const auto& scenario : scenarios()) {
+    for (std::uint64_t seed : {1ull, 99ull, 4242ull}) {
+      auto [a, b] = testsupport::twice(
+          [&] { return run_scenario(cfg, scenario, seed); });
+      EXPECT_TRUE(identical(a, b))
+          << scenario.name << " seed " << seed << " diverged";
+      EXPECT_EQ(a.record_digest, b.record_digest) << scenario.name;
+      EXPECT_EQ(a.engine_digest, b.engine_digest) << scenario.name;
+      EXPECT_EQ(a.schedule_digest, b.schedule_digest) << scenario.name;
+    }
+  }
+}
+
+TEST(ChaosProperty, RecordDigestIsRecomputable) {
+  const auto cfg = small_chaos_config();
+  for (const auto& scenario : scenarios()) {
+    const auto record = run_scenario(cfg, scenario, 17);
+    EXPECT_EQ(record.record_digest, compute_record_digest(record))
+        << scenario.name;
+  }
+}
+
+// Adding a fault never increases the effective-time ratio. Exercised as
+// prefix monotonicity over canonical (time-sorted) mixed schedules: prefix
+// k+1 = prefix k plus one more fault.
+TEST(ChaosProperty, PrefixMonotonicity) {
+  const auto cfg = small_chaos_config();
+  const auto* mixed = find_scenario("mixed");
+  ASSERT_NE(mixed, nullptr);
+  for (std::uint64_t seed : {3ull, 8ull, 21ull, 34ull}) {
+    const auto full = generate_schedule(cfg, *mixed, seed);
+    ASSERT_GE(full.size(), 2u) << "seed " << seed << " drew a thin schedule";
+    double prev = 2.0;  // above any reachable ratio
+    for (std::size_t k = 0; k <= full.size(); ++k) {
+      const FaultSchedule prefix(full.begin(),
+                                 full.begin() + static_cast<long>(k));
+      const auto record = run_schedule(cfg, "prefix", seed, prefix);
+      EXPECT_LE(record.effective_time_ratio, prev + 1e-9)
+          << "seed " << seed << ": adding fault " << k << " ("
+          << (k > 0 ? describe(full[k - 1]) : std::string("none"))
+          << ") raised the ratio";
+      prev = record.effective_time_ratio;
+    }
+  }
+}
+
+TEST(ChaosProperty, RatioStaysInUnitInterval) {
+  const auto cfg = small_chaos_config();
+  for (const auto& scenario : scenarios()) {
+    for (std::uint64_t seed : {2ull, 13ull}) {
+      const auto record = run_scenario(cfg, scenario, seed);
+      EXPECT_GE(record.effective_time_ratio, 0.0) << scenario.name;
+      EXPECT_LE(record.effective_time_ratio, 1.0) << scenario.name;
+      EXPECT_GE(record.slowdown_factor, 1.0) << scenario.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ms::chaos

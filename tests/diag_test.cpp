@@ -6,7 +6,7 @@
 #include "diag/stream.h"
 #include "diag/timeline.h"
 #include "diag/viz3d.h"
-#include "json_util.h"
+#include "support/json.h"
 
 namespace ms::diag {
 namespace {

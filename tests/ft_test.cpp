@@ -5,6 +5,7 @@
 #include "ft/faults.h"
 #include "ft/monitor.h"
 #include "ft/workflow.h"
+#include "support/builders.h"
 
 namespace ms::ft {
 namespace {
@@ -231,19 +232,37 @@ TEST(Monitor, HeartbeatExactlyAtTimeoutBoundaryDoesNotAlarm) {
 }
 
 TEST(Monitor, RdmaBaselineWarmsUpBeforeFirstJudgment) {
-  // The very first traffic sample only seeds the EWMA baseline: even a
-  // zero-traffic first beat must not alarm (there is nothing to compare
-  // against yet), and a zero baseline never divides into silence alarms.
+  // A zero-traffic first beat must not alarm (there is nothing to compare
+  // against yet) and must not seed the baseline — only healthy traffic does.
   AnomalyDetector det(detector_config());
   det.track(0, 0);
   EXPECT_FALSE(det.feed({.node = 0, .at = seconds(10.0), .rdma_gbps = 0}));
-  // Baseline is now 0; a healthy beat must not trip the comparison — a
-  // zero baseline makes any traffic look infinite — it only lifts the EWMA.
+  // First healthy beat seeds the EWMA baseline.
   EXPECT_FALSE(det.feed({.node = 0, .at = seconds(20.0), .rdma_gbps = 150}));
   // With a positive baseline established, collapse is finally judged.
   auto alarm = det.feed({.node = 0, .at = seconds(30.0), .rdma_gbps = 0});
   ASSERT_TRUE(alarm.has_value());
   EXPECT_EQ(alarm->kind, AlarmKind::kRdmaSilence);
+}
+
+TEST(Monitor, ColdStartDeadNodeStillAlarms) {
+  // Regression found by the chaos campaign: a node whose NIC died before
+  // the detector re-registered it (every recovery builds a fresh detector)
+  // used to seed baseline = 0 and become permanently undetectable. Zero
+  // traffic from the very first samples must alarm on its own.
+  AnomalyDetector det(detector_config());
+  det.track(0, 0);
+  std::optional<Alarm> alarm;
+  int beats = 0;
+  while (!alarm && beats < 10) {
+    ++beats;
+    alarm = det.feed(
+        {.node = 0, .at = seconds(10.0) * beats, .rdma_gbps = 0});
+  }
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->kind, AlarmKind::kRdmaSilence);
+  EXPECT_FALSE(alarm->warning_only);
+  EXPECT_EQ(beats, DetectorConfig{}.cold_start_dead_beats);
 }
 
 TEST(Monitor, AlarmedNodeSuppressesReAlarms) {
@@ -262,11 +281,7 @@ TEST(Monitor, AlarmedNodeSuppressesReAlarms) {
 
 // -------------------------------------------------------------- workflow
 
-WorkflowConfig small_workflow() {
-  WorkflowConfig cfg;
-  cfg.nodes = 32;
-  return cfg;
-}
+using testsupport::small_workflow;
 
 TEST(Workflow, DetectionLatencyByFaultClass) {
   Rng rng(5);

@@ -10,28 +10,20 @@
 #include "ft/ckpt_writer.h"
 #include "optim/schedule.h"
 #include "optim/trainer.h"
+#include "support/builders.h"
 
 namespace ms {
 namespace {
 
 // ---------------------- checkpoint/resume with real training state -------
 
-optim::TinyGptConfig small_model() {
-  optim::TinyGptConfig cfg;
-  cfg.vocab = 16;
-  cfg.seq_len = 8;
-  cfg.hidden = 16;
-  cfg.heads = 2;
-  cfg.layers = 1;
-  cfg.ffn_hidden = 32;
-  return cfg;
-}
+using testsupport::small_tinygpt;
 
 // Train, checkpoint through the two-stage writer at step k, "crash", restore
 // weights AND optimizer state, continue — the resumed run must follow the
 // uninterrupted run exactly (same data stream).
 TEST(Integration, CheckpointRestoreResumesExactly) {
-  const auto cfg = small_model();
+  const auto cfg = small_tinygpt();
   optim::MarkovCorpus corpus(16, 3, 500);
   constexpr int kCrashStep = 10, kTotalSteps = 20;
 
@@ -173,7 +165,7 @@ TEST(Integration, StragglerFoldShowsUpInHeatmapAndMfu) {
 // ---------------------- LR schedule + clip inside a real training loop ---
 
 TEST(Integration, WarmupCosineWithClippingTrains) {
-  const auto cfg = small_model();
+  const auto cfg = small_tinygpt();
   optim::MarkovCorpus corpus(16, 3, 600);
   Rng init(601);
   optim::TinyGpt model(cfg, init);
@@ -201,7 +193,7 @@ TEST(Integration, WarmupCosineWithClippingTrains) {
 // ---------------------- DP training + straggler-free determinism ---------
 
 TEST(Integration, DpTrainerDeterministicAcrossRuns) {
-  const auto cfg = small_model();
+  const auto cfg = small_tinygpt();
   optim::MarkovCorpus corpus(16, 3, 700);
   auto run = [&] {
     dist::Zero2DataParallel dp(cfg, 2, 701);

@@ -7,25 +7,17 @@
 #include "net/flap.h"
 #include "net/flowsim.h"
 #include "net/topology.h"
+#include "support/builders.h"
 
 namespace ms::net {
 namespace {
 
-ClosParams small_params() {
-  ClosParams p;
-  p.hosts = 32;
-  p.nics_per_host = 2;
-  p.hosts_per_tor = 8;
-  p.pods = 2;
-  p.aggs_per_pod = 2;
-  p.spines_per_plane = 2;
-  return p;
-}
+using testsupport::small_clos_params;
 
 // ------------------------------------------------------------- topology
 
 TEST(Topology, NodeCounts) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   const auto& p = topo.params();
   EXPECT_EQ(p.tors_per_rail(), 4);
   EXPECT_EQ(p.tor_count(), 8);
@@ -46,14 +38,14 @@ TEST(Topology, NodeCounts) {
 }
 
 TEST(Topology, SameTorPathIsTwoHops) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   auto paths = topo.ecmp_paths(0, 1, 0);  // hosts 0,1 share ToR (8 per ToR)
   ASSERT_EQ(paths.size(), 1u);
   EXPECT_EQ(paths[0].size(), 2u);
 }
 
 TEST(Topology, SamePodPathCountEqualsAggs) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   // ToR index = host/8. Host 0 -> ToR 0 (pod 0); host 16 -> ToR 2 (pod 0).
   auto paths = topo.ecmp_paths(0, 16, 0);
   EXPECT_EQ(paths.size(), 2u);  // aggs_per_pod
@@ -61,7 +53,7 @@ TEST(Topology, SamePodPathCountEqualsAggs) {
 }
 
 TEST(Topology, CrossPodPathCountEqualsSpines) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   // Host 0 -> ToR 0 (pod 0); host 8 -> ToR 1 (pod 1).
   auto paths = topo.ecmp_paths(0, 8, 0);
   EXPECT_EQ(paths.size(), 4u);  // spine_count
@@ -69,7 +61,7 @@ TEST(Topology, CrossPodPathCountEqualsSpines) {
 }
 
 TEST(Topology, PathLinksAreConnected) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   for (const auto& path : topo.ecmp_paths(0, 8, 1)) {
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       EXPECT_EQ(topo.link(path[i]).dst, topo.link(path[i + 1]).src);
@@ -80,7 +72,7 @@ TEST(Topology, PathLinksAreConnected) {
 }
 
 TEST(Topology, PathsStayOnRail) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   for (int rail = 0; rail < 2; ++rail) {
     for (const auto& path : topo.ecmp_paths(0, 20, rail)) {
       // First hop must land on a ToR of this rail.
@@ -91,13 +83,13 @@ TEST(Topology, PathsStayOnRail) {
 }
 
 TEST(Topology, SelfPathsEmpty) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   EXPECT_TRUE(topo.ecmp_paths(3, 3, 0).empty());
   EXPECT_EQ(topo.hop_count(3, 3, 0), 0);
 }
 
 TEST(Topology, SplitDownlinkDoublesUplinkCapacity) {
-  auto p = small_params();
+  auto p = small_clos_params();
   p.split_downlink_ports = true;
   ClosTopology tuned(p);
   p.split_downlink_ports = false;
@@ -117,7 +109,7 @@ TEST(Topology, SplitDownlinkDoublesUplinkCapacity) {
 }
 
 TEST(Topology, BisectionBandwidthPositive) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   // 4 pods*aggs * spines... : aggs(4) x spines_per_plane(2) links at 400G.
   EXPECT_DOUBLE_EQ(topo.bisection_bandwidth(), 8 * gbps(400.0));
 }
@@ -125,14 +117,14 @@ TEST(Topology, BisectionBandwidthPositive) {
 // ----------------------------------------------------------------- ecmp
 
 TEST(Ecmp, RouteDeterministic) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   EcmpRouter router(topo);
   FlowSpec f{.src_host = 0, .dst_host = 8, .rail = 0, .flow_label = 42};
   EXPECT_EQ(router.route(f), router.route(f));
 }
 
 TEST(Ecmp, DifferentLabelsSpreadOverPaths) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   EcmpRouter router(topo);
   std::set<Path> distinct;
   for (std::uint64_t label = 0; label < 64; ++label) {
@@ -144,7 +136,7 @@ TEST(Ecmp, DifferentLabelsSpreadOverPaths) {
 }
 
 TEST(Ecmp, SingleFlowGetsLineRate) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   std::vector<FlowSpec> flows{{.src_host = 0, .dst_host = 8, .rail = 0}};
   auto r = analyze_ecmp(topo, flows);
   EXPECT_DOUBLE_EQ(r.mean_throughput_frac, 1.0);
@@ -152,7 +144,7 @@ TEST(Ecmp, SingleFlowGetsLineRate) {
 }
 
 TEST(Ecmp, PortSplitReducesConflicts) {
-  auto p = small_params();
+  auto p = small_clos_params();
   p.hosts = 64;
   p.hosts_per_tor = 8;
   Rng rng(1);
@@ -173,7 +165,7 @@ TEST(Ecmp, PortSplitReducesConflicts) {
 }
 
 TEST(Ecmp, PackedRingStaysUnderTor) {
-  auto p = small_params();
+  auto p = small_clos_params();
   Rng rng(3);
   ClosTopology topo(p);
   auto flows = ring_traffic(topo, 8, /*pack_under_tor=*/true, rng);
@@ -184,7 +176,7 @@ TEST(Ecmp, PackedRingStaysUnderTor) {
 }
 
 TEST(Ecmp, SpreadRingUsesMoreHops) {
-  auto p = small_params();
+  auto p = small_clos_params();
   Rng rng(4);
   ClosTopology topo(p);
   auto spread = ring_traffic(topo, 8, /*pack_under_tor=*/false, rng);
@@ -195,7 +187,7 @@ TEST(Ecmp, SpreadRingUsesMoreHops) {
 // -------------------------------------------------------------- flowsim
 
 TEST(FlowSim, SingleFlowAtLineRate) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   FlowSim sim(topo);
   // 25 GB over a 25 GB/s NIC (200 Gb/s) => 1 s.
   auto paths = topo.ecmp_paths(0, 8, 0);
@@ -205,7 +197,7 @@ TEST(FlowSim, SingleFlowAtLineRate) {
 }
 
 TEST(FlowSim, TwoFlowsShareLink) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   FlowSim sim(topo);
   auto paths = topo.ecmp_paths(0, 8, 0);
   // Same path: both flows share the 25 GB/s NIC link => each gets half.
@@ -217,7 +209,7 @@ TEST(FlowSim, TwoFlowsShareLink) {
 }
 
 TEST(FlowSim, ShortFlowFinishesThenLongSpeedsUp) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   FlowSim sim(topo);
   auto paths = topo.ecmp_paths(0, 8, 0);
   // Long flow: 25 GB; short flow: 6.25 GB. Shared until short finishes at
@@ -231,7 +223,7 @@ TEST(FlowSim, ShortFlowFinishesThenLongSpeedsUp) {
 }
 
 TEST(FlowSim, LateArrivalHonored) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   FlowSim sim(topo);
   auto paths = topo.ecmp_paths(0, 8, 0);
   const int f = sim.add_flow(paths[0], static_cast<Bytes>(25e9), seconds(2.0));
@@ -241,7 +233,7 @@ TEST(FlowSim, LateArrivalHonored) {
 }
 
 TEST(FlowSim, DisjointFlowsDoNotInterfere) {
-  auto p = small_params();
+  auto p = small_clos_params();
   ClosTopology topo(p);
   FlowSim sim(topo);
   // Rails are disjoint: same host pair on different rails shares nothing.
@@ -257,7 +249,7 @@ TEST(FlowSim, DisjointFlowsDoNotInterfere) {
 TEST(FlowSim, MatchesEqualShareOnSymmetricLoad) {
   // For symmetric single-bottleneck loads, max-min equals equal-share, so
   // the ECMP analyzer's approximation should agree with the simulator.
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   FlowSim sim(topo);
   auto paths = topo.ecmp_paths(0, 8, 0);
   for (int i = 0; i < 4; ++i) {
@@ -270,7 +262,7 @@ TEST(FlowSim, MatchesEqualShareOnSymmetricLoad) {
 }
 
 TEST(FlowSim, EmptyPathRejected) {
-  ClosTopology topo(small_params());
+  ClosTopology topo(small_clos_params());
   FlowSim sim(topo);
   EXPECT_THROW(sim.add_flow({}, 100), std::invalid_argument);
 }

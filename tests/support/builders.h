@@ -1,0 +1,57 @@
+// Shared scenario builders for the test suites. One canonical "small"
+// configuration per subsystem, so every test exercises the same topology /
+// job shapes and a change to a default breaks in one place, not five.
+#pragma once
+
+#include "chaos/config.h"
+#include "core/time.h"
+#include "ft/workflow.h"
+#include "net/topology.h"
+#include "optim/nn.h"
+
+namespace ms::testsupport {
+
+/// The 32-host, 2-rail, 2-pod Clos used across the network tests: small
+/// enough to route instantly, deep enough to have real tor/agg/spine tiers.
+inline net::ClosParams small_clos_params() {
+  net::ClosParams p;
+  p.hosts = 32;
+  p.nics_per_host = 2;
+  p.hosts_per_tor = 8;
+  p.pods = 2;
+  p.aggs_per_pod = 2;
+  p.spines_per_plane = 2;
+  return p;
+}
+
+/// The 32-node fault-tolerance workflow used by the ft tests.
+inline ft::WorkflowConfig small_workflow() {
+  ft::WorkflowConfig cfg;
+  cfg.nodes = 32;
+  return cfg;
+}
+
+/// The tiny GPT the optimizer/integration tests train end-to-end.
+inline optim::TinyGptConfig small_tinygpt() {
+  optim::TinyGptConfig cfg;
+  cfg.vocab = 16;
+  cfg.seq_len = 8;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.layers = 1;
+  cfg.ffn_hidden = 32;
+  return cfg;
+}
+
+/// Chaos config compressed for tests: a 30-minute window with a 10-minute
+/// checkpoint cadence keeps single runs in the tens of milliseconds while
+/// leaving room for multi-incident schedules.
+inline chaos::ChaosConfig small_chaos_config() {
+  chaos::ChaosConfig cfg;
+  cfg.duration = minutes(30.0);
+  cfg.checkpoint_interval = minutes(10.0);
+  cfg.node_repair_time = minutes(20.0);
+  return cfg;
+}
+
+}  // namespace ms::testsupport

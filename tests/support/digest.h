@@ -1,0 +1,29 @@
+// Determinism helpers: assert that a seeded computation is bit-stable.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace ms::testsupport {
+
+/// Runs `make` twice and returns both results, for bitwise comparison of
+/// digests / records produced from the same seed.
+template <typename Fn>
+auto twice(Fn&& make) {
+  auto first = make();
+  auto second = make();
+  return std::make_pair(std::move(first), std::move(second));
+}
+
+/// EXPECTs that `digest_of(make())` is identical across `runs` evaluations.
+template <typename Fn, typename DigestFn>
+void expect_deterministic(Fn&& make, DigestFn&& digest_of, int runs = 3) {
+  const std::uint64_t want = digest_of(make());
+  for (int i = 1; i < runs; ++i) {
+    EXPECT_EQ(digest_of(make()), want) << "run " << i << " diverged";
+  }
+}
+
+}  // namespace ms::testsupport

@@ -1,0 +1,40 @@
+// RAII temporary directory for tests that touch the filesystem (campaign
+// failure artifacts, exporter files). Created under TMPDIR (default /tmp),
+// removed recursively on destruction.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace ms::testsupport {
+
+class TmpDir {
+ public:
+  explicit TmpDir(const std::string& prefix = "ms-test") {
+    namespace fs = std::filesystem;
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = (base != nullptr && base[0] != '\0' ? base : "/tmp");
+    tmpl += "/" + prefix + "-XXXXXX";
+    std::string buf = tmpl;
+    if (::mkdtemp(buf.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for " + tmpl);
+    }
+    path_ = buf;
+  }
+  ~TmpDir() {
+    std::error_code ec;  // best-effort cleanup; never throw from a dtor
+    std::filesystem::remove_all(path_, ec);
+  }
+  TmpDir(const TmpDir&) = delete;
+  TmpDir& operator=(const TmpDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ms::testsupport

@@ -17,7 +17,7 @@
 #include "telemetry/exporters.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
-#include "json_util.h"
+#include "support/json.h"
 
 namespace ms::telemetry {
 namespace {

@@ -17,6 +17,8 @@
 #include <string>
 
 #include "chaos/campaign.h"
+#include "diag/artifact.h"
+#include "diag/flight_recorder.h"
 #include "telemetry/exporters.h"
 #include "telemetry/metrics.h"
 
@@ -29,7 +31,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --scenario <name> [--seeds N | --seed S]\n"
                "          [--base-seed B] [--canary] [--json]\n"
-               "          [--artifact-dir DIR] [--metrics]\n"
+               "          [--artifact-dir DIR] [--flight-dir DIR] [--metrics]\n"
                "       %s --list\n",
                argv0, argv0);
   return 2;
@@ -50,6 +52,7 @@ void print_record(const OutcomeRecord& r) {
 int main(int argc, char** argv) {
   std::string scenario_name;
   std::string artifact_dir;
+  std::string flight_dir;
   std::uint64_t base_seed = 0xC405;  // "chaos"
   std::uint64_t single_seed = 0;
   bool have_single_seed = false;
@@ -89,6 +92,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage(argv[0]);
       artifact_dir = v;
+    } else if (arg == "--flight-dir") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      flight_dir = v;
     } else if (arg == "--canary") {
       canary = true;
     } else if (arg == "--json") {
@@ -114,9 +121,32 @@ int main(int argc, char** argv) {
   }
 
   telemetry::MetricsRegistry metrics;
+  ms::diag::FlightRecorder flight;
   ChaosConfig cfg;
   cfg.canary = canary;
   cfg.metrics = &metrics;
+  if (!flight_dir.empty()) cfg.flight = &flight;
+
+  // Post-mortem dumps (frozen by the AnomalyDetector at alarm time) become
+  // msdiag-loadable JSONL artifacts; cap the count so a dense campaign
+  // doesn't flood the artifact store.
+  auto write_flight_dumps = [&] {
+    if (flight_dir.empty()) return;
+    constexpr std::size_t kMaxDumps = 16;
+    const auto& dumps = flight.dumps();
+    for (std::size_t i = 0; i < dumps.size() && i < kMaxDumps; ++i) {
+      char name[48];
+      std::snprintf(name, sizeof(name), "flight-%03zu.jsonl", i);
+      const std::string path = flight_dir + "/" + name;
+      if (ms::diag::write_text_file(path,
+                                    ms::diag::flight_dump_jsonl(dumps[i]))) {
+        std::printf("flight dump: %s (%s)\n", path.c_str(),
+                    dumps[i].reason.c_str());
+      } else {
+        std::fprintf(stderr, "flight dump write failed: %s\n", path.c_str());
+      }
+    }
+  };
 
   // --seed S: replay exactly one seed (the repro path).
   if (have_single_seed) {
@@ -142,6 +172,7 @@ int main(int argc, char** argv) {
     if (dump_metrics) {
       std::printf("%s", telemetry::prometheus_text(metrics.snapshot()).c_str());
     }
+    write_flight_dumps();
     return verdict.pass ? 0 : 1;
   }
 
@@ -180,5 +211,6 @@ int main(int argc, char** argv) {
   if (dump_metrics) {
     std::printf("%s", telemetry::prometheus_text(metrics.snapshot()).c_str());
   }
+  write_flight_dumps();
   return result.failures.empty() ? 0 : 1;
 }

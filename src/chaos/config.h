@@ -13,6 +13,10 @@ namespace ms::telemetry {
 class MetricsRegistry;
 }  // namespace ms::telemetry
 
+namespace ms::diag {
+class FlightRecorder;
+}  // namespace ms::diag
+
 namespace ms::chaos {
 
 struct ChaosConfig {
@@ -71,6 +75,10 @@ struct ChaosConfig {
   /// Optional telemetry (not owned): chaos_runs_total{scenario,outcome},
   /// per-scenario recovery-latency histograms, effective-ratio gauges.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Optional flight recorder (not owned): fault injections and the driver
+  /// sim's heartbeat/alarm/recovery stream are ring-buffered, and every
+  /// detected anomaly freezes a post-mortem dump for msdiag.
+  diag::FlightRecorder* flight = nullptr;
 };
 
 }  // namespace ms::chaos

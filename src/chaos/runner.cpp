@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "diag/flight_recorder.h"
 #include "engine/job.h"
 #include "ft/driver_sim.h"
 #include "net/ccsim.h"
@@ -99,6 +100,10 @@ OutcomeRecord run_schedule(const ChaosConfig& cfg,
   DriverFaultPlan plan;
 
   for (const auto& fault : schedule) {
+    if (cfg.flight != nullptr) {
+      cfg.flight->record(fault.node % cfg.nodes, fault.at, "inject",
+                         describe(fault));
+    }
     switch (fault.kind) {
       case FaultKind::kFailStop: {
         ft::FaultEvent event;
@@ -177,6 +182,7 @@ OutcomeRecord run_schedule(const ChaosConfig& cfg,
   driver.restore_time = cfg.restore_time;
   driver.manual_analysis_time = cfg.manual_analysis_time;
   driver.node_repair_time = cfg.node_repair_time;
+  driver.flight = cfg.flight;
   if (cfg.canary) {
     // The seeded regression: heartbeat-timeout detection is disabled, so
     // hung hosts (kGpuHang stops heartbeating) are never found. Campaigns

@@ -1,0 +1,33 @@
+// Trace-artifact IO for the diagnosis toolchain.
+//
+// Runs persist their evidence as JSONL: one span per line (the same
+// format telemetry::jsonl_spans emits) or a flight-recorder dump. msdiag
+// and the tests load artifacts through these helpers, so a trace captured
+// by a bench, a chaos campaign, or the nightly CI job all round-trip into
+// the analyzer without conversion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diag/timeline.h"
+
+namespace ms::diag {
+
+/// Writes `content` to `path`, creating parent directories. Returns false
+/// on IO failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// Reads the whole file. Returns false when unreadable.
+bool read_text_file(const std::string& path, std::string& out);
+
+/// One span per line, schema-compatible with telemetry::jsonl_spans
+/// (`{"type":"span","rank":..,"name":..,"tag":..,"start_ns":..,"end_ns":..,
+/// "detail":..}`).
+std::string trace_jsonl(const std::vector<TraceSpan>& spans);
+
+/// Parses a span JSONL artifact. Lines of other types (metrics mixed into
+/// the same export) are skipped; malformed JSON fails the load.
+bool parse_trace_jsonl(const std::string& text, std::vector<TraceSpan>& out);
+
+}  // namespace ms::diag

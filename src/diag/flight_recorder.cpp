@@ -1,0 +1,127 @@
+#include "diag/flight_recorder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/json.h"
+
+namespace ms::diag {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config) {
+  if (config_.capacity_per_node == 0) config_.capacity_per_node = 1;
+}
+
+void FlightRecorder::record(int node, TimeNs time, std::string kind,
+                            std::string detail) {
+  if (node < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto idx = static_cast<std::size_t>(node);
+  if (idx >= rings_.size()) rings_.resize(idx + 1);
+  Ring& ring = rings_[idx];
+  FlightEvent ev{time, node, std::move(kind), std::move(detail), seq_++};
+  if (ring.slots.size() < config_.capacity_per_node) {
+    ring.slots.push_back(std::move(ev));
+  } else {
+    ring.slots[ring.next] = std::move(ev);
+    ring.next = (ring.next + 1) % ring.slots.size();
+  }
+  ++ring.written;
+}
+
+FlightDump FlightRecorder::trigger(std::string reason, TimeNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlightDump dump;
+  dump.reason = std::move(reason);
+  dump.time = now;
+  for (const Ring& ring : rings_) {
+    dump.events.insert(dump.events.end(), ring.slots.begin(),
+                       ring.slots.end());
+  }
+  std::sort(dump.events.begin(), dump.events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+            });
+  dumps_.push_back(dump);
+  return dump;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings_) total += ring.written;
+  return total;
+}
+
+std::uint64_t FlightRecorder::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const Ring& ring : rings_) dropped += ring.written - ring.slots.size();
+  return dropped;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  dumps_.clear();
+  seq_ = 0;
+}
+
+std::string flight_dump_jsonl(const FlightDump& dump) {
+  std::ostringstream out;
+  out << "{\"type\":\"flight-dump\",\"reason\":\"" << json::escape(dump.reason)
+      << "\",\"time_ns\":" << dump.time
+      << ",\"events\":" << dump.events.size() << "}\n";
+  for (const auto& ev : dump.events) {
+    out << "{\"type\":\"flight-event\",\"time_ns\":" << ev.time
+        << ",\"node\":" << ev.node << ",\"kind\":\"" << json::escape(ev.kind)
+        << "\",\"detail\":\"" << json::escape(ev.detail)
+        << "\",\"seq\":" << ev.seq << "}\n";
+  }
+  return out.str();
+}
+
+bool parse_flight_dump_jsonl(const std::string& text, FlightDump& out) {
+  FlightDump dump;
+  bool saw_header = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    json::Value v;
+    if (!json::parse(line, v) || !v.is_object()) return false;
+    const std::string type = v.text("type");
+    if (type == "flight-dump") {
+      if (saw_header) return false;
+      saw_header = true;
+      dump.reason = v.text("reason");
+      dump.time = static_cast<TimeNs>(v.num("time_ns"));
+    } else if (type == "flight-event") {
+      FlightEvent ev;
+      ev.time = static_cast<TimeNs>(v.num("time_ns"));
+      ev.node = static_cast<int>(v.num("node"));
+      ev.kind = v.text("kind");
+      ev.detail = v.text("detail");
+      ev.seq = static_cast<std::uint64_t>(v.num("seq"));
+      dump.events.push_back(std::move(ev));
+    } else {
+      return false;
+    }
+  }
+  if (!saw_header) return false;
+  out = std::move(dump);
+  return true;
+}
+
+TimelineTrace flight_dump_timeline(const FlightDump& dump) {
+  TimelineTrace trace;
+  for (const auto& ev : dump.events) {
+    // Events are instants; give each a 1 µs body so trace viewers render
+    // them (the exporter keeps sub-µs durations since the %.3f fix).
+    trace.add(TraceSpan{ev.node, ev.kind, "flight", ev.time,
+                        ev.time + microseconds(1.0), ev.detail});
+  }
+  return trace;
+}
+
+}  // namespace ms::diag

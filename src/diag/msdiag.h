@@ -1,0 +1,34 @@
+// msdiag — the §5 diagnosis workflow as a CLI (library half).
+//
+// Commands operate on artifacts on disk, so the same binary analyzes a
+// bench run, a chaos campaign, or a trace attached to a CI failure:
+//
+//   msdiag analyze <trace.jsonl> [--json] [--top K]
+//       critical-path breakdown + blame table for one step trace
+//   msdiag diff <base.jsonl> <cand.jsonl>
+//       localize a regression between two runs
+//   msdiag flight <dump.jsonl> [--perfetto <out.json>]
+//       summarize a flight-recorder dump; optionally export it as a
+//       Perfetto/Chrome trace
+//   msdiag export <trace.jsonl> <out.json>
+//       annotated Perfetto/Chrome trace (critical-path spans marked)
+//
+// The entry point takes argv-style strings and writes to caller-supplied
+// streams — tests drive it exactly like the shell does.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ms::diag {
+
+/// Runs one msdiag command. Returns a process exit code (0 = success,
+/// 1 = bad usage / failed load).
+int msdiag_main(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+/// Usage text (also printed on bad invocations).
+std::string msdiag_usage();
+
+}  // namespace ms::diag

@@ -1,8 +1,11 @@
 #include "diag/timeline.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <sstream>
+
+#include "core/json.h"
 
 namespace ms::diag {
 
@@ -47,13 +50,23 @@ std::string TimelineTrace::chrome_trace_json() const {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   bool first = true;
+  char num[64];
   for (const auto& s : spans_) {
     if (!first) out << ',';
     first = false;
-    out << "{\"name\":\"" << s.name << "\",\"cat\":\"" << s.tag
-        << "\",\"ph\":\"X\",\"pid\":" << s.rank << ",\"tid\":0"
-        << ",\"ts\":" << to_microseconds(s.start)
-        << ",\"dur\":" << to_microseconds(s.end - s.start) << "}";
+    // Fractional microseconds ("%.3f" = nanosecond resolution) so sub-µs
+    // spans keep a nonzero duration in the viewer.
+    out << "{\"name\":\"" << json::escape(s.name) << "\",\"cat\":\""
+        << json::escape(s.tag) << "\",\"ph\":\"X\",\"pid\":" << s.rank
+        << ",\"tid\":0";
+    std::snprintf(num, sizeof(num), "%.3f", to_microseconds(s.start));
+    out << ",\"ts\":" << num;
+    std::snprintf(num, sizeof(num), "%.3f", to_microseconds(s.end - s.start));
+    out << ",\"dur\":" << num;
+    if (!s.detail.empty()) {
+      out << ",\"args\":{\"detail\":\"" << json::escape(s.detail) << "\"}";
+    }
+    out << '}';
   }
   out << "]}";
   return out.str();

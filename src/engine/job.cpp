@@ -50,6 +50,10 @@ std::string validate(const JobConfig& cfg) {
       static_cast<int>(cfg.stage_speed.size()) != cfg.par.pp) {
     return "stage_speed must have pp entries";
   }
+  if (!cfg.link_speed.empty() &&
+      static_cast<int>(cfg.link_speed.size()) != cfg.par.pp) {
+    return "link_speed must have pp entries";
+  }
   if (cfg.par.pp == 1 && cfg.par.vpp != 1) {
     return "vpp > 1 requires pp > 1";
   }
@@ -169,6 +173,32 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
   auto scaled = [&](TimeNs t, int s) -> TimeNs {
     return static_cast<TimeNs>(static_cast<double>(t) * stage_factor(s));
   };
+  // p2p transfers are serialized by the *sender's* NIC; a degraded link is
+  // modeled as a slowdown factor indexed by the producing stage.
+  auto scaled_p2p = [&](int producer_stage) -> TimeNs {
+    const double f = cfg.link_speed.empty()
+                         ? 1.0
+                         : cfg.link_speed[static_cast<std::size_t>(producer_stage)];
+    return static_cast<TimeNs>(static_cast<double>(p2p_time) * f);
+  };
+
+  // Structured span attributes (parsed by diag::DepGraph; grammar in
+  // sim::OpSpec::detail). Transfers carry both endpoints so the analyzer
+  // can pair send/recv and walk back to the producing compute op.
+  auto compute_detail = [](int s, int chunk, int mb, bool is_bwd, bool head) {
+    std::string d = "s=" + std::to_string(s) + " c=" + std::to_string(chunk) +
+                    " mb=" + std::to_string(mb) +
+                    " p=" + (is_bwd ? std::string("b") : std::string("f"));
+    if (head) d += " head=1";
+    return d;
+  };
+  auto transfer_detail = [](int from, int to, int cons_chunk, int prod_chunk,
+                            int mb, bool is_bwd) {
+    return "p=" + (is_bwd ? std::string("b") : std::string("f")) +
+           " mb=" + std::to_string(mb) + " from=" + std::to_string(from) +
+           " to=" + std::to_string(to) + " c=" + std::to_string(cons_chunk) +
+           " pc=" + std::to_string(prod_chunk);
+  };
 
   // Compute op per (stage, chunk, microbatch, pass).
   std::map<std::tuple<int, int, int, int>, sim::OpId> compute_ops;
@@ -232,13 +262,17 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
       const bool is_bwd = e.pass == PassType::kBackward;
       const auto key = std::make_tuple(s, e.chunk, e.microbatch, is_bwd ? 1 : 0);
 
-      if (!cfg.overlap.pp_decouple && producer_of(s, e).exists) {
+      const Endpoint prod = producer_of(s, e);
+      if (!cfg.overlap.pp_decouple && prod.exists) {
         // Blocking receive: the coupled send/recv holds the receiving side
         // for the whole transfer too (no compute proceeds under it).
-        sim::OpId rcv = graph.add_op({.name = "recv-wait",
-                                      .stream = compute_stream(s),
-                                      .duration = p2p_time,
-                                      .tag = "pp-comm"});
+        sim::OpId rcv = graph.add_op(
+            {.name = "recv-wait",
+             .stream = compute_stream(s),
+             .duration = scaled_p2p(prod.stage),
+             .tag = "pp-comm",
+             .detail = transfer_detail(prod.stage, s, e.chunk, prod.chunk,
+                                       e.microbatch, is_bwd)});
         recv_ops[key] = rcv;
         chain(rcv);
       }
@@ -247,19 +281,25 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
       TimeNs dur = is_bwd ? (has_head ? chunk.bwd_last : chunk.bwd)
                           : (has_head ? chunk.fwd_last : chunk.fwd);
       dur = scaled(dur, s);
-      sim::OpId op = graph.add_op({.name = is_bwd ? "bwd" : "fwd",
-                                   .stream = compute_stream(s),
-                                   .duration = dur,
-                                   .tag = is_bwd ? "bwd" : "fwd"});
+      sim::OpId op = graph.add_op(
+          {.name = is_bwd ? "bwd" : "fwd",
+           .stream = compute_stream(s),
+           .duration = dur,
+           .tag = is_bwd ? "bwd" : "fwd",
+           .detail = compute_detail(s, e.chunk, e.microbatch, is_bwd, has_head)});
       compute_ops[key] = op;
       chain(op);
 
-      if (!cfg.overlap.pp_decouple && consumer_of(s, e).exists) {
+      const Endpoint cons = consumer_of(s, e);
+      if (!cfg.overlap.pp_decouple && cons.exists) {
         // Blocking send occupies the compute stream for the wire time.
-        sim::OpId snd = graph.add_op({.name = "send",
-                                      .stream = compute_stream(s),
-                                      .duration = p2p_time,
-                                      .tag = "pp-comm"});
+        sim::OpId snd = graph.add_op(
+            {.name = "send",
+             .stream = compute_stream(s),
+             .duration = scaled_p2p(s),
+             .tag = "pp-comm",
+             .detail = transfer_detail(s, cons.stage, cons.chunk, e.chunk,
+                                       e.microbatch, is_bwd)});
         send_ops[key] = snd;
         chain(snd);
       }
@@ -286,14 +326,18 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
                                             prod.microbatch, prod.is_bwd);
       const sim::OpId producer = compute_ops[prod_key];
       if (cfg.overlap.pp_decouple) {
+        const std::string td = transfer_detail(prod.stage, s, e.chunk,
+                                               prod.chunk, e.microbatch, is_bwd);
         sim::OpId snd = graph.add_op({.name = "send",
                                       .stream = send_stream(prod.stage),
-                                      .duration = p2p_time,
-                                      .tag = "pp-comm"});
+                                      .duration = scaled_p2p(prod.stage),
+                                      .tag = "pp-comm",
+                                      .detail = td});
         sim::OpId rcv = graph.add_op({.name = "recv",
                                       .stream = recv_stream(s),
                                       .duration = 0,
-                                      .tag = "pp-comm"});
+                                      .tag = "pp-comm",
+                                      .detail = td});
         graph.add_dep(producer, snd);
         graph.add_dep(snd, rcv);
         graph.add_dep(rcv, consumer);
@@ -331,17 +375,22 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
         // first carries the highest priority; the first one starts at t=0,
         // overlapping the data pipeline (the FSDP-inspired prefetch).
         for (int c = 0; c < vpp; ++c) {
+          const std::string dd = "s=" + std::to_string(s) +
+                                 " c=" + std::to_string(c) +
+                                 " grp=dp n=" + std::to_string(par.dp);
           sim::OpId ag = graph.add_op({.name = "dp-allgather",
                                        .stream = dp_stream(s),
                                        .duration = dp_ag_chunk,
                                        .priority = vpp - c,
-                                       .tag = "dp-comm"});
+                                       .tag = "dp-comm",
+                                       .detail = dd});
           graph.add_dep(ag, first_fwd[static_cast<std::size_t>(c)]);
           sim::OpId rs = graph.add_op({.name = "dp-reducescatter",
                                        .stream = dp_stream(s),
                                        .duration = dp_rs_chunk,
                                        .priority = c,
-                                       .tag = "dp-comm"});
+                                       .tag = "dp-comm",
+                                       .detail = dd});
           graph.add_dep(last_bwd[static_cast<std::size_t>(c)], rs);
           rs_ops.push_back(rs);
         }
@@ -349,11 +398,14 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
         // Bucketed at the iteration edges: one all-gather before any
         // compute, one reduce-scatter after all backwards (the exposed
         // pattern of stock data-parallel synchronization).
+        const std::string dd =
+            "s=" + std::to_string(s) + " grp=dp n=" + std::to_string(par.dp);
         sim::OpId ag = graph.add_op(
             {.name = "dp-allgather",
              .stream = dp_stream(s),
              .duration = vpp * dp_ag_chunk,
-             .tag = "dp-comm"});
+             .tag = "dp-comm",
+             .detail = dd});
         graph.add_dep(data_op, ag);
         for (int c = 0; c < vpp; ++c) {
           graph.add_dep(ag, first_fwd[static_cast<std::size_t>(c)]);
@@ -362,7 +414,8 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
             {.name = "dp-reducescatter",
              .stream = dp_stream(s),
              .duration = vpp * dp_rs_chunk,
-             .tag = "dp-comm"});
+             .tag = "dp-comm",
+             .detail = dd});
         for (int c = 0; c < vpp; ++c) {
           graph.add_dep(last_bwd[static_cast<std::size_t>(c)], rs);
         }
@@ -373,7 +426,8 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
     sim::OpId opt = graph.add_op({.name = "optimizer",
                                   .stream = compute_stream(s),
                                   .duration = scaled(optimizer_time, s),
-                                  .tag = "optimizer"});
+                                  .tag = "optimizer",
+                                  .detail = "s=" + std::to_string(s)});
     if (rs_ops.empty()) {
       for (int c = 0; c < vpp; ++c) {
         graph.add_dep(last_bwd[static_cast<std::size_t>(c)], opt);
@@ -424,8 +478,13 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
   // ---- telemetry routing (§5: one substrate instead of ad-hoc copies) ----
   if (cfg.tracer != nullptr) {
     for (const auto& rec : result.spans) {
+      // The stream id is appended so the analyzer can recover hardware-queue
+      // program order even after spans are folded onto per-stage ranks.
+      std::string detail = rec.detail;
+      if (!detail.empty()) detail += ' ';
+      detail += "stream=" + std::to_string(rec.stream);
       cfg.tracer->record(stage_of_stream(rec.stream), rec.name, rec.tag,
-                         rec.start, rec.end);
+                         rec.start, rec.end, std::move(detail));
     }
   }
   if (cfg.metrics != nullptr) {

@@ -93,6 +93,11 @@ struct JobConfig {
   /// Per-stage compute slowdown factors (straggler injection); empty means
   /// nominal speed. Size must equal par.pp when present.
   std::vector<double> stage_speed;
+  /// Per-link p2p slowdown factors, indexed by the *sending* stage (the
+  /// NIC that serializes the transfer). Models a degraded link / ECMP hash
+  /// conflict on one pipeline hop (§3.6, §5.2); empty means nominal. Size
+  /// must equal par.pp when present.
+  std::vector<double> link_speed;
   /// Optional telemetry sinks (not owned). When `tracer` is set, every
   /// executed op is routed through it as a span (rank = pipeline stage);
   /// when `metrics` is set, per-op histograms, collective call/byte

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "diag/flight_recorder.h"
+
 namespace ms::ft {
 
 namespace {
@@ -33,7 +35,14 @@ struct SimState {
     training_entered_at = engine->now();
     // Fresh detector view after recovery (§4.1: executors re-register).
     detector = std::make_unique<AnomalyDetector>(cfg->detector);
+    detector->set_flight_recorder(cfg->flight);
     for (int n = 0; n < cfg->nodes; ++n) detector->track(n, engine->now());
+  }
+
+  void flight_note(int node, const char* kind, std::string detail) {
+    if (cfg->flight != nullptr) {
+      cfg->flight->record(node, engine->now(), kind, std::move(detail));
+    }
   }
 
   void leave_training() {
@@ -61,6 +70,7 @@ void SimState::on_alarm(const Alarm& alarm) {
     current.type = node.type;
     current.fault_at = node.fault_since;
   }
+  flight_note(alarm.node, "recovery", "phase=suspend");
   // Begin the diagnostic suite immediately across the fleet.
   state = DriverState::kDiagnosing;
   engine->after(cfg->suite.total_duration(), [this] { finish_diagnostics(); });
@@ -78,6 +88,8 @@ void SimState::finish_diagnostics() {
     flagged = result.node_flagged;
   }
   current.diagnosed_automatically = flagged;
+  flight_note(current.node, "recovery",
+              flagged ? "phase=diagnose auto=1" : "phase=diagnose auto=0");
   const TimeNs extra = flagged ? 0 : cfg->manual_analysis_time;
   state = DriverState::kReplacing;
   engine->after(extra + cfg->evict_replenish_time,
@@ -108,6 +120,7 @@ void SimState::finish_replacement() {
 
 void SimState::finish_restore() {
   assert(state == DriverState::kRestoring);
+  flight_note(current.node, "recovery", "phase=resume");
   current.resumed_at = engine->now();
   report.incidents.push_back(current);
   current = DriverIncident{};
@@ -137,6 +150,8 @@ DriverSimReport run_driver_sim(const DriverSimConfig& cfg, TimeNs duration,
       node.faulty = true;
       node.type = fault.type;
       node.fault_since = sim.engine->now();
+      sim.flight_note(fault.node, "fault",
+                      std::string("type=") + fault_name(fault.type));
     });
   }
 

@@ -33,6 +33,10 @@ struct DriverSimConfig {
   /// An evicted node is repaired and returns to the spare pool after this.
   TimeNs node_repair_time = hours(6.0);
   double healthy_rdma_gbps = 150.0;
+  /// Optional flight recorder (not owned): fault injections, heartbeats,
+  /// alarms and recovery milestones are ring-buffered per node, and every
+  /// non-warning alarm freezes a post-mortem dump (§5).
+  diag::FlightRecorder* flight = nullptr;
 };
 
 enum class DriverState {

@@ -1,5 +1,8 @@
 #include "ft/monitor.h"
 
+#include <cstdio>
+
+#include "diag/flight_recorder.h"
 #include "telemetry/metrics.h"
 
 namespace ms::ft {
@@ -17,12 +20,24 @@ const char* alarm_kind_name(AlarmKind kind) {
 }  // namespace
 
 void AnomalyDetector::count_alarm(const Alarm& alarm) {
-  if (metrics_ == nullptr) return;
-  metrics_
-      ->counter("ft_alarms_total",
-                {{"kind", alarm_kind_name(alarm.kind)},
-                 {"severity", alarm.warning_only ? "warning" : "alarm"}})
-      .add();
+  if (metrics_ != nullptr) {
+    metrics_
+        ->counter("ft_alarms_total",
+                  {{"kind", alarm_kind_name(alarm.kind)},
+                   {"severity", alarm.warning_only ? "warning" : "alarm"}})
+        .add();
+  }
+  if (flight_ != nullptr) {
+    flight_->record(alarm.node, alarm.at,
+                    alarm.warning_only ? "warning" : "alarm",
+                    std::string("kind=") + alarm_kind_name(alarm.kind));
+    if (!alarm.warning_only) {
+      // The post-mortem moment: freeze the last events of every node.
+      flight_->trigger(std::string(alarm_kind_name(alarm.kind)) +
+                           " node=" + std::to_string(alarm.node),
+                       alarm.at);
+    }
+  }
 }
 
 void AnomalyDetector::track(int node, TimeNs now) {
@@ -31,6 +46,12 @@ void AnomalyDetector::track(int node, TimeNs now) {
 
 std::optional<Alarm> AnomalyDetector::feed(const Heartbeat& hb) {
   if (metrics_ != nullptr) metrics_->counter("ft_heartbeats_total").add();
+  if (flight_ != nullptr) {
+    char detail[48];
+    std::snprintf(detail, sizeof(detail), "rdma_gbps=%.2f err=%d",
+                  hb.rdma_gbps, hb.error_status ? 1 : 0);
+    flight_->record(hb.node, hb.at, "heartbeat", detail);
+  }
   NodeState& state = nodes_[hb.node];
   state.last_beat = hb.at;
   if (state.alarmed) return std::nullopt;

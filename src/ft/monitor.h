@@ -22,6 +22,10 @@ namespace ms::telemetry {
 class MetricsRegistry;
 }  // namespace ms::telemetry
 
+namespace ms::diag {
+class FlightRecorder;
+}  // namespace ms::diag
+
 namespace ms::ft {
 
 struct Heartbeat {
@@ -75,6 +79,13 @@ class AnomalyDetector {
   /// the §4.2 dashboard feed.
   void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Optional flight recorder (not owned): every heartbeat and alarm is
+  /// recorded, and any non-warning alarm triggers a dump — the §5
+  /// post-mortem capture of the last events before the anomaly.
+  void set_flight_recorder(diag::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+
   /// Registers a node so missing heartbeats can be detected from t=0.
   void track(int node, TimeNs now);
 
@@ -95,6 +106,7 @@ class AnomalyDetector {
 
   DetectorConfig cfg_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  diag::FlightRecorder* flight_ = nullptr;
   std::unordered_map<int, NodeState> nodes_;
 };
 

@@ -23,6 +23,7 @@ OpId GraphExecutor::add_op(OpSpec spec) {
   rec.id = id;
   rec.name = spec.name;
   rec.tag = spec.tag;
+  rec.detail = spec.detail;
   rec.stream = spec.stream;
   records_.push_back(std::move(rec));
   specs_.push_back(std::move(spec));

@@ -39,6 +39,10 @@ struct OpSpec {
   std::function<void(TimeNs start, TimeNs end)> on_finish;
   /// Free-form tag for span analysis (e.g. "fwd", "bwd", "dp-comm").
   std::string tag;
+  /// Structured attributes for dependency reconstruction, encoded as
+  /// space-separated `k=v` tokens (e.g. "s=1 c=0 mb=2 p=f to=2"). Parsed by
+  /// diag::DepGraph; opaque to the executor.
+  std::string detail;
 };
 
 /// Execution record for one op — the raw material for the §5 diagnosis
@@ -47,6 +51,7 @@ struct OpRecord {
   OpId id = kInvalidOp;
   std::string name;
   std::string tag;
+  std::string detail;
   StreamId stream = 0;
   TimeNs start = -1;
   TimeNs end = -1;

@@ -141,6 +141,21 @@ void TrainingDashboard::record_health(const ft::RunReport& report) {
   }
 }
 
+void TrainingDashboard::record_diagnosis(const diag::StepDiagnosis& diagnosis) {
+  diag_ = diagnosis;
+  has_diag_ = true;
+  if (registry_ != nullptr) {
+    auto& m = *registry_;
+    m.gauge("diag_critical_path_seconds").set(to_seconds(diagnosis.makespan));
+    for (const auto& entry : diagnosis.blame) {
+      Labels labels{{"cause", diag::segment_kind_name(entry.cause)},
+                    {"rank", std::to_string(entry.rank)}};
+      if (!entry.link.empty()) labels.push_back({"link", entry.link});
+      m.counter("diag_blame_total", labels).add(to_seconds(entry.total));
+    }
+  }
+}
+
 double TrainingDashboard::mean_mfu() const {
   if (steps_.empty()) return 0;
   double sum = 0;
@@ -236,6 +251,20 @@ std::string TrainingDashboard::report() const {
     t.add_row({"straggler machines", stragglers.empty() ? "none" : list});
     t.add_row({"worst straggler delta",
                Table::fmt_pct(worst_straggler_delta())});
+  }
+  if (has_diag_) {
+    t.add_separator();
+    t.add_row({"critical path", format_duration(diag_.makespan)});
+    if (!diag_.blame.empty()) {
+      const auto& top = diag_.blame.front();
+      std::string who = diag_.blame.front().link.empty()
+                            ? "rank " + std::to_string(top.rank)
+                            : "link " + top.link;
+      t.add_row({"top blame",
+                 std::string(diag::segment_kind_name(top.cause)) + " (" + who +
+                     "): " + format_duration(top.total) + " / " +
+                     Table::fmt_pct(top.share)});
+    }
   }
   if (has_health_) {
     t.add_separator();

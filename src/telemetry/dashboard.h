@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/time.h"
+#include "diag/blame.h"
 #include "diag/heatmap.h"
 #include "engine/job.h"
 #include "ft/workflow.h"
@@ -55,6 +56,11 @@ class TrainingDashboard {
   /// Fault-tolerance outcome of the run (heartbeat-derived health).
   void record_health(const ft::RunReport& report);
 
+  /// Critical-path diagnosis of a step (diag::analyze_spans). Blame totals
+  /// are mirrored as diag_blame_total{cause,rank[,link]} counters and the
+  /// top culprit joins the report table (§5.2).
+  void record_diagnosis(const diag::StepDiagnosis& diagnosis);
+
   const std::vector<StepReport>& steps() const { return steps_; }
   double mean_mfu() const;
 
@@ -74,6 +80,8 @@ class TrainingDashboard {
   std::set<int> machines_;
   bool has_health_ = false;
   ft::RunReport health_;
+  bool has_diag_ = false;
+  diag::StepDiagnosis diag_;
 };
 
 }  // namespace ms::telemetry

@@ -1,9 +1,10 @@
 #include "telemetry/exporters.h"
 
 #include <cctype>
-#include <cstdio>
 #include <limits>
 #include <sstream>
+
+#include "core/json.h"
 
 namespace ms::telemetry {
 
@@ -83,28 +84,7 @@ void json_labels(std::ostringstream& out, const Labels& labels) {
 
 }  // namespace
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return ms::json::escape(s); }
 
 std::string prometheus_text(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
@@ -174,7 +154,11 @@ std::string jsonl_spans(const std::vector<diag::TraceSpan>& spans) {
   for (const auto& s : spans) {
     out << "{\"type\":\"span\",\"rank\":" << s.rank << ",\"name\":\""
         << json_escape(s.name) << "\",\"tag\":\"" << json_escape(s.tag)
-        << "\",\"start_ns\":" << s.start << ",\"end_ns\":" << s.end << "}\n";
+        << "\",\"start_ns\":" << s.start << ",\"end_ns\":" << s.end;
+    if (!s.detail.empty()) {
+      out << ",\"detail\":\"" << json_escape(s.detail) << '"';
+    }
+    out << "}\n";
   }
   return out.str();
 }

@@ -1,5 +1,7 @@
 #include "telemetry/trace.h"
 
+#include "core/log.h"
+
 namespace ms::telemetry {
 
 void Tracer::set_clock(std::function<TimeNs()> clock) {
@@ -21,9 +23,25 @@ void Tracer::record(diag::TraceSpan span) {
   spans_.push_back(std::move(span));
 }
 
+void Tracer::record_clocked(diag::TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!clock_ && !warned_frozen_clock_) {
+    warned_frozen_clock_ = true;
+    MS_LOG_WARN << "Tracer: span \"" << span.name
+                << "\" recorded against the default frozen-at-0 clock — did "
+                   "you forget Tracer::attach(engine)/set_clock()?";
+  }
+  spans_.push_back(std::move(span));
+}
+
 void Tracer::record(int rank, const std::string& name, const std::string& tag,
                     TimeNs start, TimeNs end) {
   record(diag::TraceSpan{rank, name, tag, start, end});
+}
+
+void Tracer::record(int rank, const std::string& name, const std::string& tag,
+                    TimeNs start, TimeNs end, std::string detail) {
+  record(diag::TraceSpan{rank, name, tag, start, end, std::move(detail)});
 }
 
 std::size_t Tracer::size() const {
@@ -70,7 +88,7 @@ void ScopedSpan::close() {
   if (!open_) return;
   open_ = false;
   span_.end = tracer_.now();
-  tracer_.record(std::move(span_));
+  tracer_.record_clocked(std::move(span_));
 }
 
 }  // namespace ms::telemetry

@@ -31,10 +31,12 @@ class Tracer {
   void attach(const sim::Engine& engine);
   TimeNs now() const;
 
-  /// Appends one finished span. Thread-safe.
+  /// Appends one finished span (caller-provided timestamps). Thread-safe.
   void record(diag::TraceSpan span);
   void record(int rank, const std::string& name, const std::string& tag,
               TimeNs start, TimeNs end);
+  void record(int rank, const std::string& name, const std::string& tag,
+              TimeNs start, TimeNs end, std::string detail);
 
   std::size_t size() const;
   std::vector<diag::TraceSpan> spans() const;  // copy, in record order
@@ -48,9 +50,16 @@ class Tracer {
   void clear();
 
  private:
+  friend class ScopedSpan;
+  /// ScopedSpan's sink: same as record(), but warns once (per tracer, via
+  /// the log hook) when spans are timestamped by the default frozen-at-0
+  /// clock — the signature of a forgotten attach(engine)/set_clock().
+  void record_clocked(diag::TraceSpan span);
+
   mutable std::mutex mu_;
   std::function<TimeNs()> clock_;
   std::vector<diag::TraceSpan> spans_;
+  bool warned_frozen_clock_ = false;
 };
 
 /// RAII span: opens at construction time (tracer clock), records on

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "core/json.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "core/table.h"
@@ -356,6 +357,54 @@ TEST(HdrHistogram, BucketsCoverValues) {
   EXPECT_LE(buckets[0].lo, 0.37);
   EXPECT_GT(buckets[0].hi, 0.37);
   EXPECT_EQ(buckets[0].count, 1u);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(Json, EscapeCoversQuotesBackslashesAndControls) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(json::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, ParseRoundTripsEscapedStrings) {
+  const std::string original = "fwd \"q\" \\ \n\t\x02 end";
+  json::Value v;
+  ASSERT_TRUE(json::parse("\"" + json::escape(original) + "\"", v));
+  EXPECT_EQ(v.kind, json::Value::Kind::kString);
+  EXPECT_EQ(v.str, original);
+}
+
+TEST(Json, ParseFullValueGrammar) {
+  json::Value v;
+  ASSERT_TRUE(json::parse(
+      R"({"a":1.5,"b":[true,false,null],"c":{"n":-2e3},"s":"x"})", v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.num("a"), 1.5);
+  ASSERT_EQ(v.at("b").size(), 3u);
+  EXPECT_TRUE(v.at("b")[0].boolean);
+  EXPECT_EQ(v.at("b")[2].kind, json::Value::Kind::kNull);
+  EXPECT_DOUBLE_EQ(v.at("c").num("n"), -2000.0);
+  EXPECT_EQ(v.text("s"), "x");
+  EXPECT_EQ(v.text("missing", "dflt"), "dflt");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  json::Value v;
+  EXPECT_FALSE(json::parse("", v));
+  EXPECT_FALSE(json::parse("{", v));
+  EXPECT_FALSE(json::parse("{\"a\":}", v));
+  EXPECT_FALSE(json::parse("[1,]", v));
+  EXPECT_FALSE(json::parse("\"unterminated", v));
+  EXPECT_FALSE(json::parse("{} trailing", v));
+}
+
+TEST(Json, ParseDecodesUnicodeEscapes) {
+  json::Value v;
+  ASSERT_TRUE(json::parse("\"a\\u0041\\u00e9\"", v));
+  EXPECT_EQ(v.str, "aA\xc3\xa9");
 }
 
 }  // namespace

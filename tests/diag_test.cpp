@@ -103,6 +103,70 @@ TEST(Timeline, IdleTimeIsBubble) {
   EXPECT_EQ(trace.idle_time(0, 0, seconds(4.0)), seconds(2.0));
 }
 
+TEST(Timeline, ActiveAtIsHalfOpenAndSkipsZeroLengthSpans) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = seconds(1.0),
+             .end = seconds(2.0)});
+  trace.add({.rank = 1, .name = "marker", .tag = "fwd", .start = seconds(1.0),
+             .end = seconds(1.0)});  // zero-length: never active
+  const auto at_start = trace.active_at(seconds(1.0));
+  ASSERT_EQ(at_start.size(), 1u);
+  EXPECT_EQ(at_start[0].rank, 0);
+  EXPECT_TRUE(trace.active_at(seconds(2.0)).empty());  // end is exclusive
+  EXPECT_TRUE(trace.active_at(seconds(0.5)).empty());
+}
+
+TEST(Timeline, IdleTimeBoundaryTouchingSpansLeaveNoGap) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = 0,
+             .end = seconds(1.0)});
+  trace.add({.rank = 0, .name = "bwd", .tag = "bwd", .start = seconds(1.0),
+             .end = seconds(2.0)});
+  EXPECT_EQ(trace.idle_time(0, 0, seconds(2.0)), 0);
+}
+
+TEST(Timeline, IdleTimeOverlappingSpansNotDoubleCounted) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = 0,
+             .end = seconds(2.0)});
+  trace.add({.rank = 0, .name = "send", .tag = "pp-comm",
+             .start = seconds(1.0), .end = seconds(3.0)});
+  // Union of busy time is [0s, 3s); idle over [0s, 4s) is exactly 1s.
+  EXPECT_EQ(trace.idle_time(0, 0, seconds(4.0)), seconds(1.0));
+  // A span nested inside another adds nothing.
+  trace.add({.rank = 0, .name = "tp", .tag = "tp-comm",
+             .start = seconds(0.5), .end = seconds(1.5)});
+  EXPECT_EQ(trace.idle_time(0, 0, seconds(4.0)), seconds(1.0));
+}
+
+TEST(Timeline, IdleTimeZeroLengthSpansContributeNothing) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "marker", .tag = "fwd", .start = seconds(1.0),
+             .end = seconds(1.0)});
+  EXPECT_EQ(trace.idle_time(0, 0, seconds(2.0)), seconds(2.0));
+}
+
+TEST(Timeline, IdleTimeOfUnknownRankIsWholeWindow) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = 0,
+             .end = seconds(1.0)});
+  EXPECT_EQ(trace.idle_time(7, 0, seconds(3.0)), seconds(3.0));
+  // Spans clipped to the window only count their covered part (0.5s busy).
+  EXPECT_EQ(trace.idle_time(0, seconds(0.5), seconds(3.0)), seconds(2.0));
+}
+
+TEST(Timeline, ChromeTraceEscapesNamesAndKeepsSubMicrosecondSpans) {
+  TimelineTrace trace;
+  trace.add({.rank = 0, .name = "fwd \"q\"\\n", .tag = "a\tb",
+             .start = 0, .end = 500, .detail = "s=0 c=1\nnote=\"x\""});
+  const auto v = testjson::parse(trace.chrome_trace_json());
+  const auto& ev = v.at("traceEvents")[0];
+  EXPECT_EQ(ev.at("name").str, "fwd \"q\"\\n");
+  EXPECT_EQ(ev.at("cat").str, "a\tb");
+  EXPECT_EQ(ev.at("args").at("detail").str, "s=0 c=1\nnote=\"x\"");
+  EXPECT_DOUBLE_EQ(ev.at("dur").number, 0.5);  // 500 ns = 0.5 us, not 0
+}
+
 TEST(Timeline, RenderShowsLanesAndGlyphs) {
   TimelineTrace trace;
   trace.add({.rank = 0, .name = "fwd", .tag = "fwd", .start = 0,

@@ -401,5 +401,65 @@ TEST(Dashboard, HealthSectionFromRunReport) {
   EXPECT_NE(text.find("93."), std::string::npos);
 }
 
+TEST(Tracer, WarnsOnceOnFrozenClockScopedSpans) {
+  Tracer tracer;
+  testing::internal::CaptureStderr();
+  { ScopedSpan span(tracer, 0, "fwd", "fwd"); }
+  { ScopedSpan span(tracer, 0, "bwd", "bwd"); }
+  const std::string log = testing::internal::GetCapturedStderr();
+  EXPECT_NE(log.find("frozen-at-0 clock"), std::string::npos);
+  // Once per tracer, not per span.
+  EXPECT_EQ(log.find("frozen-at-0 clock"),
+            log.rfind("frozen-at-0 clock"));
+  EXPECT_EQ(tracer.size(), 2u);
+}
+
+TEST(Tracer, NoWarningWithClockOrExplicitTimestamps) {
+  testing::internal::CaptureStderr();
+  Tracer clocked;
+  TimeNs now = 0;
+  clocked.set_clock([&now] { return now; });
+  { ScopedSpan span(clocked, 0, "fwd", "fwd"); }
+
+  // Explicit-timestamp records never involve the clock — a legitimate
+  // zero-length span at t=0 (fully-hidden async data load) must not warn.
+  Tracer manual;
+  manual.record(0, "data-load", "data", 0, 0);
+  EXPECT_EQ(testing::internal::GetCapturedStderr().find("frozen-at-0"),
+            std::string::npos);
+}
+
+TEST(Dashboard, DiagnosisSectionAndBlameMetrics) {
+  MetricsRegistry reg;
+  TrainingDashboard dash(&reg);
+
+  diag::StepDiagnosis d;
+  d.makespan = seconds(12.0);
+  d.blame.push_back({diag::SegmentKind::kStragglerWait, 3, "", seconds(4.0),
+                     4.0 / 12.0});
+  d.blame.push_back({diag::SegmentKind::kSlowLink, 2, "2->3",
+                     milliseconds(50.0), 0.004});
+  dash.record_diagnosis(d);
+
+  const std::string text = dash.report();
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("straggler-wait"), std::string::npos);
+  EXPECT_NE(text.find("rank 3"), std::string::npos);
+
+  const auto snap = reg.snapshot();
+  const auto* path = snap.find("diag_critical_path_seconds");
+  ASSERT_NE(path, nullptr);
+  EXPECT_DOUBLE_EQ(path->value, 12.0);
+  const auto* straggler = snap.find(
+      "diag_blame_total", {{"cause", "straggler-wait"}, {"rank", "3"}});
+  ASSERT_NE(straggler, nullptr);
+  EXPECT_DOUBLE_EQ(straggler->value, 4.0);
+  const auto* link = snap.find(
+      "diag_blame_total",
+      {{"cause", "slow-link"}, {"link", "2->3"}, {"rank", "2"}});
+  ASSERT_NE(link, nullptr);
+  EXPECT_DOUBLE_EQ(link->value, 0.05);
+}
+
 }  // namespace
 }  // namespace ms::telemetry

@@ -9,6 +9,7 @@
 //   (d) flat ring vs hierarchical DP all-reduce at scale.
 #include <cstdio>
 
+#include "bench/common.h"
 #include "collective/comm.h"
 #include "core/table.h"
 #include "engine/job.h"
@@ -31,7 +32,7 @@ JobConfig base_config() {
   return cfg;
 }
 
-void schedule_ablation() {
+void schedule_ablation(ms::bench::BenchReport& br) {
   std::printf("--- (a) pipeline schedule ---\n");
   Table t({"schedule", "iter", "MFU", "peak in-flight", "activations",
            "fits 80GB?"});
@@ -56,6 +57,11 @@ void schedule_ablation() {
             ? parallel::gpipe_schedule_for_stage(cfg.par.pp, 0, m)
             : parallel::schedule_for_stage(cfg.par.pp, 0, c.vpp, m);
     const int inflight = parallel::peak_inflight_microbatches(sched);
+    br.metric(std::string("schedule_mfu_") +
+                  (c.schedule == PipelineSchedule::kGpipe
+                       ? "gpipe"
+                       : (c.vpp > 1 ? "interleaved" : "1f1b")),
+              r.mfu, 0.02);
     // Interleaved chunks are 1/vpp the size; normalize to microbatch units.
     const double inflight_units =
         static_cast<double>(inflight) / static_cast<double>(c.vpp);
@@ -93,7 +99,7 @@ void schedule_ablation() {
       "memory.\n\n");
 }
 
-void zero_ablation() {
+void zero_ablation(ms::bench::BenchReport& br) {
   std::printf("--- (b) ZeRO stage ---\n");
   Table t({"stage", "iter (overlap off)", "grad+opt memory", "note"});
   for (int stage : {1, 2, 3}) {
@@ -102,6 +108,8 @@ void zero_ablation() {
     cfg.par.zero_stage = stage;
     cfg.overlap = OverlapOptions::megatron_lm();  // expose the DP comm
     const auto r = simulate_iteration(cfg);
+    br.metric("zero_stage" + std::to_string(stage) + "_iter_s",
+              to_seconds(r.iteration_time), 0.02);
     const auto mem = model::peak_memory(cfg.model, cfg.par, 14);
     const char* note = stage == 1 ? "full grad all-reduce"
                        : stage == 2
@@ -117,7 +125,7 @@ void zero_ablation() {
       "schedulable — no extra traffic, all the overlap (§2).\n\n");
 }
 
-void chunk_ablation() {
+void chunk_ablation(ms::bench::BenchReport& br) {
   std::printf("--- (c) TP/SP fusion chunk count (§3.2 Figure 3c) ---\n");
   Table t({"chunks", "iter", "MFU"});
   for (int chunks : {1, 2, 4, 8, 16, 32}) {
@@ -125,6 +133,9 @@ void chunk_ablation() {
     cfg.par.vpp = 6;
     cfg.overlap.tp_overlap_chunks = chunks;
     const auto r = simulate_iteration(cfg);
+    if (chunks == 1 || chunks == 8) {
+      br.metric("chunks" + std::to_string(chunks) + "_mfu", r.mfu, 0.02);
+    }
     t.add_row({Table::fmt_int(chunks), format_duration(r.iteration_time),
                Table::fmt_pct(r.mfu)});
   }
@@ -134,7 +145,7 @@ void chunk_ablation() {
       "FFN GEMM, with diminishing returns once the ramp is amortized.\n\n");
 }
 
-void hierarchy_ablation() {
+void hierarchy_ablation(ms::bench::BenchReport& br) {
   std::printf("--- (d) flat ring vs hierarchical DP all-reduce ---\n");
   collective::CollectiveModel coll{collective::ClusterSpec{}};
   Table t({"DP GPUs", "flat ring", "hierarchical (8/node)", "speedup"});
@@ -143,6 +154,10 @@ void hierarchy_ablation() {
     const TimeNs flat =
         coll.all_reduce(bytes, gpus, collective::Domain::kInterNode);
     const TimeNs hier = coll.hierarchical_all_reduce(bytes, gpus / 8, 8);
+    if (gpus == 4096) {
+      br.metric("hier_allreduce_speedup_4096",
+                static_cast<double>(flat) / static_cast<double>(hier), 0.02);
+    }
     t.add_row({Table::fmt_int(gpus), format_duration(flat),
                format_duration(hier),
                Table::fmt(static_cast<double>(flat) / static_cast<double>(hier),
@@ -161,9 +176,10 @@ void hierarchy_ablation() {
 
 int main() {
   std::printf("=== design-choice ablations ===\n\n");
-  schedule_ablation();
-  zero_ablation();
-  chunk_ablation();
-  hierarchy_ablation();
-  return 0;
+  ms::bench::BenchReport br("ablation_design_choices");
+  schedule_ablation(br);
+  zero_ablation(br);
+  chunk_ablation(br);
+  hierarchy_ablation(br);
+  return br.write() ? 0 : 1;
 }

@@ -1,15 +1,117 @@
-// Shared configuration for the bench binaries: paper-faithful job configs
-// and a fabric-derived network-efficiency model.
+// Shared configuration for the bench binaries: paper-faithful job configs,
+// a fabric-derived network-efficiency model, and the canonical BENCH_*.json
+// artifact every bench emits for tools/bench_gate.py.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <string>
 
+#include "check/digest.h"
+#include "core/json.h"
 #include "engine/job.h"
 #include "engine/perturb.h"
 #include "net/ecmp.h"
 #include "net/topology.h"
 
 namespace ms::bench {
+
+/// Canonical machine-readable bench artifact. Every bench binary builds one
+/// of these next to its human tables and calls write() before exiting, so
+/// CI always finds BENCH_<name>.json in the working directory and
+/// tools/bench_gate.py can diff it against bench/baselines/.
+///
+///   {"bench": "...", "config": {...}, "metrics": {...},
+///    "tolerances": {...}, "info": {...}, "digest": "0x..."}
+///
+/// `metrics` are regression-gated (each with a per-metric relative
+/// tolerance); `info` values are recorded but never gated (wall-clock,
+/// host-dependent numbers); `config` pins the shape that produced them.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void config(const std::string& key, double value) {
+    config_[key] = fmt_number(value);
+  }
+  void config(const std::string& key, const std::string& value) {
+    config_[key] = '"' + json::escape(value) + '"';
+  }
+
+  /// Gated metric: bench_gate fails when a fresh run drifts more than
+  /// rel_tol (relative) from the committed baseline.
+  void metric(const std::string& key, double value, double rel_tol = 0.05) {
+    metrics_[key] = value;
+    tolerances_[key] = rel_tol;
+  }
+
+  /// Ungated context (wall-clock, machine-dependent values).
+  void info(const std::string& key, double value) { info_[key] = value; }
+
+  std::string to_json() const {
+    check::Digest d;
+    d.fold(std::string_view(name_));
+    for (const auto& [key, value] : metrics_) {
+      d.fold(std::string_view(key));
+      // Fold the rendered decimal, not raw bits: survives JSON round-trips.
+      d.fold(std::string_view(fmt_number(value)));
+    }
+    std::string out = "{\"bench\":\"" + json::escape(name_) + "\"";
+    out += ",\"config\":" + raw_object(config_);
+    out += ",\"metrics\":" + num_object(metrics_);
+    out += ",\"tolerances\":" + num_object(tolerances_);
+    out += ",\"info\":" + num_object(info_);
+    char digest[24];
+    std::snprintf(digest, sizeof(digest), "0x%016llx",
+                  static_cast<unsigned long long>(d.value()));
+    out += std::string(",\"digest\":\"") + digest + "\"}";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json in the current directory; returns success.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_json() << '\n';
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string fmt_number(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+  static std::string raw_object(const std::map<std::string, std::string>& m) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : m) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + json::escape(key) + "\":" + value;
+    }
+    return out + "}";
+  }
+  static std::string num_object(const std::map<std::string, double>& m) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : m) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + json::escape(key) + "\":" + fmt_number(value);
+    }
+    return out + "}";
+  }
+
+  std::string name_;
+  std::map<std::string, std::string> config_;
+  std::map<std::string, double> metrics_;
+  std::map<std::string, double> tolerances_;
+  std::map<std::string, double> info_;
+};
 
 /// Effective network efficiency at a given cluster size, derived from the
 /// ECMP conflict analysis: a CLOS fabric proportional to the job is built,

@@ -9,6 +9,7 @@
 //      of tokens.
 #include <cstdio>
 
+#include "bench/common.h"
 #include "core/stats.h"
 #include "core/table.h"
 #include "optim/trainer.h"
@@ -123,5 +124,14 @@ int main() {
   std::printf(
       "paper: LAMB at 4x batch reaches the same loss as ADAM after ~250B "
       "tokens.\n");
-  return 0;
+
+  bench::BenchReport br("fig10_convergence");
+  br.config("corpus_seed", 777);
+  br.metric("baseline_tail_loss", rec_baseline.loss_vs_tokens.tail_mean(5),
+            0.05);
+  br.metric("ptb_swa_tail_loss", rec_megascale.loss_vs_tokens.tail_mean(5),
+            0.05);
+  br.metric("adam_final_loss", rec_adam.final_loss, 0.05);
+  br.metric("lamb_final_loss", rec_lamb.final_loss, 0.05);
+  return br.write() ? 0 : 1;
 }

@@ -23,6 +23,11 @@ int main() {
   PerturbConfig perturb;
   StragglerPopulation pop;  // 0.5% of hosts 10% slow
 
+  bench::BenchReport br("fig6_fig12_stragglers");
+  br.config("gpus", cfg.gpus());
+  br.config("trials", kTrials);
+  double fig6_lo = 1.0, fig6_hi = 0.0, fig12_lo = 1.0, fig12_hi = 0.0;
+
   std::printf(
       "=== Figure 6: inconsistent MFU across runs (stragglers + problematic "
       "code) ===\n\n");
@@ -42,6 +47,8 @@ int main() {
     double head = 0;
     for (int i = 0; i < 500; ++i) head += series.y[static_cast<std::size_t>(i)];
     head /= 500.0;
+    fig6_lo = std::min(fig6_lo, mean);
+    fig6_hi = std::max(fig6_hi, mean);
     t6.add_row({Table::fmt_int(trial), Table::fmt_int(fold.slow_machines),
                 Table::fmt_pct(mean),
                 Table::fmt_pct(series.tail_mean(500) - head)});
@@ -70,6 +77,8 @@ int main() {
     double head = 0;
     for (int i = 0; i < 500; ++i) head += series.y[static_cast<std::size_t>(i)];
     head /= 500.0;
+    fig12_lo = std::min(fig12_lo, mean);
+    fig12_hi = std::max(fig12_hi, mean);
     t12.add_row({Table::fmt_int(trial), Table::fmt_pct(mean),
                  Table::fmt_pct(series.tail_mean(500) - head)});
     fig12.push_back(std::move(series));
@@ -80,5 +89,8 @@ int main() {
       "\npaper §6.3: removing ~0.5%% slow hosts gave ~0.7%% MFU back and "
       "eliminated the run-to-run spread; fixing garbage collection and "
       "fluctuating CPU code paths stopped the gradual MFU decline.\n");
-  return 0;
+  br.metric("fig6_mfu_spread", fig6_hi - fig6_lo, 0.50);
+  br.metric("fig12_mfu_spread", fig12_hi - fig12_lo, 0.50);
+  br.metric("fig12_mean_mfu", (fig12_lo + fig12_hi) / 2.0, 0.02);
+  return br.write() ? 0 : 1;
 }

@@ -19,6 +19,8 @@ int main() {
       "=== Figure 9: weak scaling, 530B model (batch ~ #GPUs) ===\n\n");
 
   Table table({"GPUs", "Batch", "Megatron-LM MFU", "MegaScale MFU", "Gap"});
+  BenchReport br("fig9_weak_scaling");
+  br.config("model", "530b");
   ms::Series mg_series, msc_series;
   mg_series.name = "Megatron-LM";
   msc_series.name = "MegaScale";
@@ -33,6 +35,8 @@ int main() {
     table.add_row({Table::fmt_int(gpus), Table::fmt_int(batch),
                    Table::fmt_pct(mg.mfu), Table::fmt_pct(msc.mfu),
                    Table::fmt_pct(msc.mfu - mg.mfu)});
+    br.metric("megatron_mfu_" + std::to_string(gpus), mg.mfu, 0.02);
+    br.metric("megascale_mfu_" + std::to_string(gpus), msc.mfu, 0.02);
     mg_series.add(gpus, mg.mfu * 100.0);
     msc_series.add(gpus, msc.mfu * 100.0);
     if (mg_first == 0) {
@@ -50,5 +54,7 @@ int main() {
       "Megatron-LM MFU drift %0.1f%% (paper: ~-1.6%%); MegaScale drift "
       "%0.1f%% (paper: near-linear scaling)\n",
       (mg_last - mg_first) * 100.0, (msc_last - msc_first) * 100.0);
-  return 0;
+  br.metric("megatron_mfu_drift", mg_last - mg_first, 0.25);
+  br.metric("megascale_mfu_drift", msc_last - msc_first, 0.25);
+  return br.write() ? 0 : 1;
 }

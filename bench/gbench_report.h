@@ -1,0 +1,64 @@
+// google-benchmark adapter for the canonical BENCH_*.json artifact.
+//
+// The micro benches measure real wall-clock on whatever machine runs them,
+// so their numbers are recorded as ungated `info` values (bench_gate never
+// fails on them) — but the artifact itself is the same shape as every other
+// bench's, so tooling can treat the directory uniformly. Use via:
+//
+//   #include "bench/gbench_report.h"
+//   BENCHMARK(...);
+//   MS_GBENCH_MAIN("micro_operators")
+//
+// which replaces benchmark_main's main(): console output stays identical,
+// plus BENCH_<name>.json lands in the working directory.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace ms::bench {
+
+/// ConsoleReporter that also folds every per-iteration run into a
+/// BenchReport as `<name>_ns` info values.
+class GBenchCapture : public benchmark::ConsoleReporter {
+ public:
+  explicit GBenchCapture(BenchReport& br) : br_(br) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      br_.info(sanitize(run.benchmark_name()) + "_ns",
+               run.GetAdjustedRealTime());
+    }
+  }
+
+ private:
+  static std::string sanitize(std::string name) {
+    for (char& c : name) {
+      if (c == '/' || c == ':' || c == ' ') c = '_';
+    }
+    return name;
+  }
+
+  BenchReport& br_;
+};
+
+}  // namespace ms::bench
+
+#define MS_GBENCH_MAIN(name)                                          \
+  int main(int argc, char** argv) {                                   \
+    ::benchmark::Initialize(&argc, argv);                             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {       \
+      return 1;                                                       \
+    }                                                                 \
+    ::ms::bench::BenchReport br(name);                                \
+    ::ms::bench::GBenchCapture reporter(br);                          \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                   \
+    ::benchmark::Shutdown();                                          \
+    return br.write() ? 0 : 1;                                        \
+  }

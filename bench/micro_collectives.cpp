@@ -2,6 +2,8 @@
 // evaluation throughput, plan generation, and max-min-fair flow simulation.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_report.h"
+
 #include "collective/comm.h"
 #include "collective/plan.h"
 #include "net/flowsim.h"
@@ -71,3 +73,5 @@ void BM_EcmpPathEnumeration(benchmark::State& state) {
 BENCHMARK(BM_EcmpPathEnumeration);
 
 }  // namespace
+
+MS_GBENCH_MAIN("micro_collectives")

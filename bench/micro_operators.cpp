@@ -3,6 +3,8 @@
 // GEMM and LayerNorm kernels, and the KV-store primitives behind §3.5.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_report.h"
+
 #include "collective/kvstore.h"
 #include "optim/nn.h"
 #include "optim/autograd.h"
@@ -105,3 +107,5 @@ void BM_AsyncKvStoreSet(benchmark::State& state) {
 BENCHMARK(BM_AsyncKvStoreSet);
 
 }  // namespace
+
+MS_GBENCH_MAIN("micro_operators")

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench/common.h"
 #include "core/table.h"
 #include "data/pipeline.h"
 #include "data/shm.h"
@@ -18,6 +19,7 @@ using namespace ms::data;
 int main() {
   std::printf("=== §3.4: data pipeline ===\n\n");
 
+  bench::BenchReport br("sec34_data_pipeline");
   Table t({"loaders", "preprocessing", "disk read", "shm copy", "preprocess",
            "exposed / step"});
   for (bool redundant : {true, false}) {
@@ -26,6 +28,9 @@ int main() {
       cfg.redundant_loaders = redundant;
       cfg.async_preprocessing = async_prep;
       const auto cost = data_step_cost(cfg);
+      br.metric(std::string(redundant ? "redundant" : "tree") + "_" +
+                    (async_prep ? "async" : "sync") + "_exposed_ms",
+                to_milliseconds(cost.exposed), 0.02);
       t.add_row({redundant ? "per-GPU (8x)" : "tree-based (1x)",
                  async_prep ? "async" : "sync",
                  format_duration(cost.disk_read),
@@ -70,5 +75,6 @@ int main() {
   std::printf(
       "delivered %.2f GB to %d consumers in %.3f s  (%.2f GB/s aggregate)\n",
       delivered_gb, kConsumers, wall_s, delivered_gb / wall_s);
-  return 0;
+  br.info("shm_broadcast_gbps", delivered_gb / wall_s);
+  return br.write() ? 0 : 1;
 }

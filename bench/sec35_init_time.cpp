@@ -8,6 +8,7 @@
 //     initialization — the mechanism demonstrated at laptop scale.
 #include <cstdio>
 
+#include "bench/common.h"
 #include "collective/bootstrap.h"
 #include "collective/kvstore.h"
 #include "core/table.h"
@@ -33,12 +34,17 @@ int main() {
       {12288, StoreKind::kTcpStore, false, "intolerable"},
       {12288, StoreKind::kRedis, true, "< 30 s"},
   };
+  bench::BenchReport br("sec35_init_time");
   for (const auto& c : cases) {
     BootstrapConfig cfg;
     cfg.world_size = c.world;
     cfg.store = c.store;
     cfg.ordered_init = c.ordered;
     const auto est = estimate_init_time(cfg);
+    br.metric("init_s_" + std::to_string(c.world) + "_" +
+                  (c.store == StoreKind::kTcpStore ? "tcp" : "redis") +
+                  (c.ordered ? "_ordered" : "_barrier"),
+              to_seconds(est.init_time), 0.02);
     t.add_row({Table::fmt_int(c.world),
                c.store == StoreKind::kTcpStore ? "TCPStore" : "Redis",
                c.ordered ? "ordered (O(n))" : "global barriers (O(n^2))",
@@ -79,5 +85,5 @@ int main() {
                    " ms"});
   }
   r.print();
-  return 0;
+  return br.write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 //   (c) retransmit timeout tuning + adap_retrans under link flapping.
 #include <cstdio>
 
+#include "bench/common.h"
 #include "core/table.h"
 #include "net/ccsim.h"
 #include "net/ccsim_multi.h"
@@ -34,7 +35,7 @@ ClosParams fabric(bool split) {
   return p;
 }
 
-void ecmp_section() {
+void ecmp_section(ms::bench::BenchReport& br) {
   std::printf("--- (a) ECMP hashing conflicts ---\n");
   Table t({"fabric", "workload", "mean tput", "min tput", "conflicted flows",
            "mean hops"});
@@ -51,6 +52,9 @@ void ecmp_section() {
       conflicts += report.conflict_fraction;
       hops += report.mean_hops;
     }
+    br.metric(std::string("ecmp_permutation_tput_") +
+                  (split ? "split" : "default"),
+              mean / kTrials, 0.03);
     t.add_row({split ? "port-split (2:1 up:down)" : "default (1:1)",
                "permutation", Table::fmt_pct(mean / kTrials),
                Table::fmt_pct(minimum / kTrials),
@@ -70,6 +74,8 @@ void ecmp_section() {
       conflicts += report.conflict_fraction;
       hops += report.mean_hops;
     }
+    br.metric(std::string("ecmp_ring_tput_") + (packed ? "packed" : "spread"),
+              mean / kTrials, 0.03);
     t.add_row({packed ? "port-split + same-ToR placement" : "port-split",
                packed ? "ring (packed)" : "ring (spread)",
                Table::fmt_pct(mean / kTrials), "-",
@@ -83,7 +89,7 @@ void ecmp_section() {
       "entirely.\n\n");
 }
 
-void cc_section() {
+void cc_section(ms::bench::BenchReport& br) {
   std::printf("--- (b) congestion control under incast ---\n");
   Table t({"senders", "algorithm", "utilization", "mean queue", "p99 queue",
            "PFC pause", "pause events", "fairness"});
@@ -102,6 +108,11 @@ void cc_section() {
     };
     for (const auto& algo : algos) {
       auto r = run_cc_sim(p, algo.make);
+      if (senders == 64) {
+        br.metric(std::string("cc64_util_") + algo.name, r.utilization, 0.03);
+        br.metric(std::string("cc64_pfc_pause_") + algo.name,
+                  r.pfc_pause_fraction, 0.25);
+      }
       t.add_row({Table::fmt_int(senders), algo.name,
                  Table::fmt_pct(r.utilization),
                  Table::fmt(r.mean_queue_bytes / 1e3, 0) + " KB",
@@ -119,7 +130,7 @@ void cc_section() {
       "PFC.\n\n");
 }
 
-void victim_section() {
+void victim_section(ms::bench::BenchReport& br) {
   std::printf("--- (b2) PFC head-of-line collateral (multi-hop) ---\n");
   Table t({"incast senders", "algorithm", "victim goodput", "incast goodput",
            "victim's hop paused"});
@@ -134,6 +145,10 @@ void victim_section() {
     };
     for (const auto& algo : algos) {
       auto r = run_victim_scenario(senders, algo.make);
+      if (senders == 64) {
+        br.metric(std::string("victim64_goodput_") + algo.name,
+                  r.victim_goodput, 0.05);
+      }
       t.add_row({Table::fmt_int(senders), algo.name,
                  Table::fmt_pct(r.victim_goodput),
                  Table::fmt_pct(r.incast_goodput),
@@ -148,7 +163,7 @@ void victim_section() {
       "the head-of-line blocking §3.6 sets out to avoid.\n\n");
 }
 
-void flap_section() {
+void flap_section(ms::bench::BenchReport& br) {
   std::printf("--- (c) link flapping vs retransmit configuration ---\n");
   Table t({"NCCL timeout", "retransmit", "flap", "outcome", "stall"});
   const std::vector<FlapEvent> flap3s{{.down_at = seconds(0.5),
@@ -169,6 +184,9 @@ void flap_section() {
     cfg.adaptive = c.adaptive;
     auto out = simulate_transfer_with_flaps(static_cast<Bytes>(25e9), 25e9,
                                             flap3s, cfg);
+    if (out.completed && c.adaptive) {
+      br.metric("flap_stall_adaptive_s", to_seconds(out.total_stall), 0.05);
+    }
     t.add_row({format_duration(c.nccl_timeout),
                c.adaptive ? "adaptive 50ms probes" : "exponential backoff",
                "3.1 s down",
@@ -187,9 +205,10 @@ void flap_section() {
 
 int main() {
   std::printf("=== §3.6: network performance tuning ===\n\n");
-  ecmp_section();
-  cc_section();
-  victim_section();
-  flap_section();
-  return 0;
+  ms::bench::BenchReport br("sec36_network_tuning");
+  ecmp_section(br);
+  cc_section(br);
+  victim_section(br);
+  flap_section(br);
+  return br.write() ? 0 : 1;
 }

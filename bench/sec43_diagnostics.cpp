@@ -3,7 +3,7 @@
 // false-positive behaviour, and the end-to-end >90% auto-recovery target.
 // Closes with the §5 analyzer gauntlet: seeded straggler / slow-link
 // fixtures run through the critical-path blame attribution, scored for
-// top-1 accuracy and analyzer runtime, emitted as BENCH_diagnostics.json
+// top-1 accuracy and analyzer runtime, emitted as BENCH_sec43_diagnostics.json
 // for the nightly CI trend line.
 #include <chrono>
 #include <cstdio>
@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "core/table.h"
 #include "core/stats.h"
 #include "diag/artifact.h"
@@ -91,6 +92,7 @@ constexpr std::uint64_t kBenchSeed = 0x43;
 int main() {
   std::printf("=== §4.2-4.3: detection and diagnostics ===\n\n");
 
+  ms::bench::BenchReport br("sec43_diagnostics");
   WorkflowConfig wf;
   Rng rng(derive_seed(kBenchSeed, "sec43.detect"));
 
@@ -160,6 +162,9 @@ int main() {
                                     default_fault_mix(), fault_rng);
   Rng run_rng(derive_seed(kBenchSeed, "sec43.workflow.run"));
   auto report = run_robust_training(wf2, days(14.0), faults, run_rng);
+  br.metric("workflow_restarts", report.restarts, 0.10);
+  br.metric("workflow_auto_detected", report.auto_detected_fraction, 0.05);
+  br.metric("workflow_ettr", report.effective_time_ratio, 0.02);
   Table e({"metric", "value", "paper"});
   e.add_row({"incidents", Table::fmt_int(report.restarts), "-"});
   e.add_row({"auto detected", Table::fmt_pct(report.auto_detected_fraction),
@@ -246,23 +251,15 @@ int main() {
       correct, cases.size(), accuracy * 100.0, analyzer_ms.mean(),
       deterministic ? "yes" : "NO");
 
-  char summary[512];
-  std::snprintf(
-      summary, sizeof(summary),
-      "{\n  \"bench\": \"sec43_diagnostics\",\n"
-      "  \"blame_top1_accuracy\": %.4f,\n"
-      "  \"blame_cases_correct\": %d,\n  \"blame_cases_total\": %zu,\n"
-      "  \"analyzer_mean_ms\": %.3f,\n  \"analyzer_max_ms\": %.3f,\n"
-      "  \"digest_deterministic\": %s,\n  \"cases\": [\n",
-      accuracy, correct, cases.size(), analyzer_ms.mean(), analyzer_ms.max(),
-      deterministic ? "true" : "false");
-  const std::string out_path = "BENCH_diagnostics.json";
-  if (diag::write_text_file(out_path,
-                            summary + case_json.str() + "\n  ]\n}\n")) {
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+  br.metric("blame_top1_accuracy", accuracy, 0.0);
+  br.metric("digest_deterministic", deterministic ? 1.0 : 0.0, 0.0);
+  br.info("analyzer_mean_ms", analyzer_ms.mean());
+  br.info("analyzer_max_ms", analyzer_ms.max());
+  (void)case_json;
+  if (!br.write()) {
+    std::fprintf(stderr, "failed to write BENCH artifact\n");
     return 1;
   }
+  std::printf("wrote BENCH_sec43_diagnostics.json\n");
   return accuracy == 1.0 && deterministic ? 0 : 1;
 }

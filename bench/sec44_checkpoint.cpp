@@ -4,6 +4,7 @@
 //   * checkpoint-interval sweep: stall overhead vs expected lost progress.
 #include <cstdio>
 
+#include "bench/common.h"
 #include "core/table.h"
 #include "ft/checkpoint.h"
 
@@ -18,6 +19,14 @@ int main() {
               static_cast<double>(spec.bytes_per_gpu()) / 1e9,
               static_cast<double>(spec.unique_bytes()) / 1e12);
 
+  bench::BenchReport br("sec44_checkpoint");
+  br.metric("stall_sync_s", to_seconds(checkpoint_stall(spec, false)), 0.02);
+  br.metric("stall_two_stage_s", to_seconds(checkpoint_stall(spec, true)),
+            0.02);
+  br.metric("recovery_leader_s", to_seconds(recovery_read_time(spec, true)),
+            0.02);
+  br.metric("recovery_all_read_s", to_seconds(recovery_read_time(spec, false)),
+            0.02);
   Table t({"operation", "strategy", "time", "paper"});
   t.add_row({"checkpoint stall", "synchronous write to HDFS",
              format_duration(checkpoint_stall(spec, false)),
@@ -71,5 +80,9 @@ int main() {
   std::printf(
       "two-stage checkpointing moves the optimum from hourly to every few "
       "minutes and cuts the unavoidable overhead several-fold.\n");
-  return 0;
+  br.metric("optimal_interval_two_stage_9h_s",
+            to_seconds(optimal_checkpoint_interval(
+                checkpoint_stall(spec, true), hours(9.0))),
+            0.02);
+  return br.write() ? 0 : 1;
 }

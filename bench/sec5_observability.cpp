@@ -49,7 +49,10 @@ int main() {
       dashboard.add_machine_sample(machine, "bwd", bwd);
     }
   }
+  bench::BenchReport br("sec5_observability");
   const auto outliers = heatmap.outliers(0.05);
+  br.metric("heatmap_stragglers_found", static_cast<double>(outliers.size()),
+            0.0);
   std::printf("%s\n", heatmap.ascii(0.05).c_str());
   std::printf("stragglers detected:");
   for (int m : outliers) std::printf(" machine %d", m);
@@ -67,6 +70,8 @@ int main() {
   cfg.tracer = &tracer;     // engine spans land in the telemetry sink
   cfg.metrics = &registry;  // per-op counters/histograms alongside
   const auto iter = engine::simulate_iteration(cfg);
+  br.metric("timeline_step_s", to_seconds(iter.iteration_time), 0.02);
+  br.metric("timeline_mfu", iter.mfu, 0.02);
 
   // Keep the lanes readable: compute + optimizer only.
   const auto trace = tracer.timeline([](const diag::TraceSpan& s) {
@@ -110,6 +115,8 @@ int main() {
               jsonl.size(), tracer.size());
   std::printf("Chrome trace JSON: %zu bytes -> chrome://tracing\n\n",
               chrome.size());
+  br.metric("registry_series", static_cast<double>(snapshot.samples.size()),
+            0.10);
 
   // ---------------- §5.2: 3D visualization + hang localization ----------
   std::printf("--- 3D parallel visualization (rank 20 of tp8 x dp2 x pp2) ---\n");
@@ -154,5 +161,6 @@ int main() {
   std::printf("silent (suspect) ranks:");
   for (int s : suspects) std::printf(" %d", s);
   std::printf("   -> isolate and flag for maintenance (§4.1)\n");
-  return 0;
+  br.metric("hang_suspects", static_cast<double>(suspects.size()), 0.0);
+  return br.write() ? 0 : 1;
 }

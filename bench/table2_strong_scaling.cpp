@@ -47,7 +47,8 @@ const std::vector<PaperRow> kPaperMegaScale6144 = {
 };
 
 void run_block(int batch, const std::vector<PaperRow>& paper_megatron,
-               const std::vector<PaperRow>& paper_megascale) {
+               const std::vector<PaperRow>& paper_megascale,
+               ms::bench::BenchReport& br) {
   using ms::Table;
   using namespace ms::bench;
 
@@ -83,6 +84,8 @@ void run_block(int batch, const std::vector<PaperRow>& paper_megatron,
     const double iter_s = ms::to_seconds(fold.iteration_time);
     const double tokens_s = cfg.tokens_per_iteration() / iter_s;
     const double speedup = megatron_iters[i] / iter_s;
+    br.metric("megascale_mfu_" + std::to_string(gpus), fold.mfu, 0.02);
+    br.metric("speedup_" + std::to_string(gpus), speedup, 0.03);
     const double paper_speedup =
         paper_megascale[i].mfu / paper_megatron[i].mfu;
     table.add_row(
@@ -106,8 +109,10 @@ int main() {
   std::printf(
       "=== Table 2: strong-scaling training performance, 175B model ===\n"
       "(simulated vs paper; batch 768 below 3072 GPUs, 6144 above)\n\n");
-  run_block(768, kPaperMegatron768, kPaperMegaScale768);
+  ms::bench::BenchReport br("table2_strong_scaling");
+  br.config("model", "175b");
+  run_block(768, kPaperMegatron768, kPaperMegaScale768, br);
   std::printf("\n");
-  run_block(6144, kPaperMegatron6144, kPaperMegaScale6144);
-  return 0;
+  run_block(6144, kPaperMegatron6144, kPaperMegaScale6144, br);
+  return br.write() ? 0 : 1;
 }

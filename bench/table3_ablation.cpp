@@ -22,11 +22,16 @@ int main() {
   auto cfg = megatron_175b(256, 256);
   Table table({"Idx", "Method", "MFU", "dMFU", "paper MFU", "paper dMFU"});
 
-  double baseline = 0;
+  BenchReport br("table3_ablation");
+  br.config("gpus", 256);
+  br.config("global_batch", 256);
+  double baseline = 0, last_mfu = 0;
   int idx = 1;
   auto show = [&](const char* label) {
     const double mfu = simulate_iteration(cfg).mfu;
     if (idx == 1) baseline = mfu;
+    last_mfu = mfu;
+    br.metric("mfu_step_" + std::to_string(idx), mfu, 0.02);
     table.add_row({Table::fmt_int(idx), label, Table::fmt_pct(mfu),
                    Table::fmt_pct(mfu - baseline),
                    Table::fmt_pct(paper[idx - 1]),
@@ -57,5 +62,6 @@ int main() {
   std::printf(
       "\nPaper: all optimizations together raise MFU by 17.6%% over the "
       "47.7%% baseline.\n");
-  return 0;
+  br.metric("mfu_gain_total", last_mfu - baseline, 0.05);
+  return br.write() ? 0 : 1;
 }

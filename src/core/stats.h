@@ -99,6 +99,12 @@ class HdrHistogram {
   double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
   double min() const { return total_ ? min_ : 0.0; }
   double max() const { return total_ ? max_ : 0.0; }
+  /// Samples that fell outside [kRangeLo, kRangeHi): still counted in
+  /// total()/sum() but not in any sized bucket, so quantiles near the tail
+  /// silently clamp. Exporters surface these so a mis-scaled metric (e.g.
+  /// nanoseconds recorded as seconds) is visible instead of a quiet lie.
+  std::uint64_t underflow_count() const { return underflow_; }
+  std::uint64_t overflow_count() const { return overflow_; }
 
   /// q in [0, 1]; value interpolated within the bucket holding that rank.
   double quantile(double q) const;

@@ -1,0 +1,140 @@
+#include "telemetry/aggregator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ms::telemetry {
+
+namespace {
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+AggregationTree::AggregationTree(const AggTreeConfig& cfg)
+    : cfg_(cfg), model_(cfg.cluster, cfg.network_efficiency) {
+  assert(cfg_.ranks > 0 && cfg_.ranks_per_host > 0 && cfg_.hosts_per_pod > 0);
+  hosts_ = ceil_div(cfg_.ranks, cfg_.ranks_per_host);
+  pods_ = ceil_div(hosts_, cfg_.hosts_per_pod);
+  leaves_.resize(static_cast<std::size_t>(cfg_.ranks));
+}
+
+void AggregationTree::submit(int rank, SketchSnapshot snapshot) {
+  assert(rank >= 0 && rank < cfg_.ranks);
+  leaves_[static_cast<std::size_t>(rank)] = std::move(snapshot);
+}
+
+SketchSnapshot AggregationTree::flat_merge() const {
+  SketchSnapshot out;
+  for (const auto& leaf : leaves_) out.merge(leaf);
+  return out;
+}
+
+FlushReport AggregationTree::flush() {
+  FlushReport report;
+
+  // ---- level 0: rank -> host (NVLink / shared memory) -------------------
+  std::vector<SketchSnapshot> host_snaps(static_cast<std::size_t>(hosts_));
+  LevelReport l0;
+  l0.level = "rank->host";
+  l0.senders = cfg_.ranks;
+  l0.receivers = hosts_;
+  l0.fan_in = cfg_.ranks_per_host;
+  for (int host = 0; host < hosts_; ++host) {
+    TimeNs ingest = 0;
+    const int lo = host * cfg_.ranks_per_host;
+    const int hi = std::min(cfg_.ranks, lo + cfg_.ranks_per_host);
+    auto& merged = host_snaps[static_cast<std::size_t>(host)];
+    for (int rank = lo; rank < hi; ++rank) {
+      const auto& leaf = leaves_[static_cast<std::size_t>(rank)];
+      const Bytes bytes = leaf.encoded_bytes();
+      l0.bytes += bytes;
+      ingest += model_.send_recv(bytes, collective::Domain::kIntraNode);
+      merged.merge(leaf);
+      ingest += cfg_.merge_cost_per_series *
+                static_cast<TimeNs>(leaf.size());
+    }
+    l0.stage_latency = std::max(l0.stage_latency, ingest);
+  }
+  report.intra_bytes = l0.bytes;
+  report.levels.push_back(l0);
+
+  // ---- level 1: host -> pod (RDMA fabric) -------------------------------
+  std::vector<SketchSnapshot> pod_snaps(static_cast<std::size_t>(pods_));
+  LevelReport l1;
+  l1.level = "host->pod";
+  l1.senders = hosts_;
+  l1.receivers = pods_;
+  l1.fan_in = cfg_.hosts_per_pod;
+  Bytes max_host_uplink = 0;
+  for (int pod = 0; pod < pods_; ++pod) {
+    TimeNs ingest = 0;
+    const int lo = pod * cfg_.hosts_per_pod;
+    const int hi = std::min(hosts_, lo + cfg_.hosts_per_pod);
+    auto& merged = pod_snaps[static_cast<std::size_t>(pod)];
+    for (int host = lo; host < hi; ++host) {
+      const auto& snap = host_snaps[static_cast<std::size_t>(host)];
+      const Bytes bytes = snap.encoded_bytes();
+      l1.bytes += bytes;
+      max_host_uplink = std::max(max_host_uplink, bytes);
+      ingest += model_.send_recv(bytes, collective::Domain::kInterNode);
+      merged.merge(snap);
+      ingest += cfg_.merge_cost_per_series *
+                static_cast<TimeNs>(snap.size());
+    }
+    l1.stage_latency = std::max(l1.stage_latency, ingest);
+  }
+  report.levels.push_back(l1);
+
+  // ---- level 2: pod -> cluster root (RDMA fabric) -----------------------
+  LevelReport l2;
+  l2.level = "pod->cluster";
+  l2.senders = pods_;
+  l2.receivers = 1;
+  l2.fan_in = pods_;
+  root_ = SketchSnapshot();
+  for (int pod = 0; pod < pods_; ++pod) {
+    const auto& snap = pod_snaps[static_cast<std::size_t>(pod)];
+    const Bytes bytes = snap.encoded_bytes();
+    l2.bytes += bytes;
+    l2.stage_latency +=
+        model_.send_recv(bytes, collective::Domain::kInterNode) +
+        cfg_.merge_cost_per_series * static_cast<TimeNs>(snap.size());
+    root_.merge(snap);
+  }
+  report.levels.push_back(l2);
+
+  report.network_bytes = l1.bytes + l2.bytes;
+  network_bytes_total_ += report.network_bytes;
+  report.propagation_latency =
+      l0.stage_latency + l1.stage_latency + l2.stage_latency;
+
+  // The contended resource is a host's uplink NIC: it carries the merged
+  // host sketch once per flush interval, next to the job's training
+  // traffic on the same rails.
+  const double interval_s = to_seconds(cfg_.flush_interval);
+  report.per_host_uplink =
+      interval_s > 0
+          ? static_cast<double>(max_host_uplink) / interval_s
+          : 0.0;
+  const Bandwidth training_bw = cfg_.cluster.nic_bw *
+                                cfg_.cluster.gpus_per_node *
+                                cfg_.network_efficiency;
+  report.overhead_fraction =
+      training_bw > 0 ? report.per_host_uplink / training_bw : 0.0;
+
+  if (cfg_.metrics != nullptr) {
+    auto& m = *cfg_.metrics;
+    m.counter("telemetry_agg_flushes_total").add();
+    for (const auto& level : report.levels) {
+      m.counter("telemetry_agg_bytes_total", {{"level", level.level}})
+          .add(static_cast<double>(level.bytes));
+    }
+    m.gauge("telemetry_agg_overhead_fraction").set(report.overhead_fraction);
+    m.gauge("telemetry_agg_propagation_seconds")
+        .set(to_seconds(report.propagation_latency));
+  }
+  return report;
+}
+
+}  // namespace ms::telemetry

@@ -266,6 +266,19 @@ std::string TrainingDashboard::report() const {
                      Table::fmt_pct(top.share)});
     }
   }
+  if (registry_ != nullptr) {
+    // Sketch-range overflow is a data-quality alarm: any nonzero count
+    // means some histogram is clamping its tail quantiles.
+    double overflow_total = 0;
+    for (const auto& s : registry_->snapshot().samples) {
+      if (s.name == "telemetry_sketch_overflow_total") overflow_total += s.value;
+    }
+    if (overflow_total > 0) {
+      t.add_separator();
+      t.add_row({"sketch overflow samples (!)",
+                 Table::fmt_int(static_cast<long long>(overflow_total))});
+    }
+  }
   if (has_health_) {
     t.add_separator();
     t.add_row({"restarts", Table::fmt_int(health_.restarts)});

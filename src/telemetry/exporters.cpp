@@ -113,7 +113,10 @@ std::string prometheus_text(const MetricsSnapshot& snapshot) {
               << cumulative << '\n';
         }
         // The spec requires a +Inf bucket equal to _count even when no
-        // sample overflowed the sketch range.
+        // sample overflowed the sketch range. (Samples that *did* overflow
+        // land in the [kRangeHi, inf) bucket above and are additionally
+        // counted by the synthetic telemetry_sketch_overflow_total series
+        // the registry snapshot emits — overflow is never silent.)
         if (!saw_inf) {
           out << name << "_bucket" << prom_labels(s.labels, "+Inf") << ' '
               << s.hist.total() << '\n';

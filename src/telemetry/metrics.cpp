@@ -98,6 +98,24 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     }
     snap.samples.push_back(std::move(s));
   }
+  // Surface histogram range overflow as a first-class counter: a sample
+  // past kRangeHi still counts toward total() but lands in no sized
+  // bucket, so tail quantiles clamp silently. One synthetic series per
+  // overflowing histogram cell makes that loss observable downstream
+  // (Prometheus, dashboard) instead of a quiet lie.
+  for (const auto& c : cells_) {
+    if (c.kind != MetricKind::kHistogram) continue;
+    const HdrHistogram h = c.histogram.snapshot();
+    if (h.overflow_count() == 0) continue;
+    MetricSample o;
+    o.name = "telemetry_sketch_overflow_total";
+    o.labels = c.labels;
+    o.labels.emplace_back("metric", c.name);
+    std::sort(o.labels.begin(), o.labels.end());
+    o.kind = MetricKind::kCounter;
+    o.value = static_cast<double>(h.overflow_count());
+    snap.samples.push_back(std::move(o));
+  }
   return snap;
 }
 

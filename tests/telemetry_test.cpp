@@ -461,5 +461,49 @@ TEST(Dashboard, DiagnosisSectionAndBlameMetrics) {
   EXPECT_DOUBLE_EQ(link->value, 0.05);
 }
 
+// ------------------------------------------- histogram overflow alarm
+
+TEST(Metrics, SketchOverflowCounterSynthesized) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("step_seconds", {{"job", "a"}});
+  h.observe(12.0);           // in range
+  h.observe(5.0e12);         // beyond HdrHistogram::kRangeHi
+  h.observe(7.0e12);
+  const auto snap = reg.snapshot();
+  double overflow = -1;
+  for (const auto& s : snap.samples) {
+    if (s.name != "telemetry_sketch_overflow_total") continue;
+    overflow = s.value;
+    EXPECT_EQ(s.kind, MetricKind::kCounter);
+    // Labeled with the offending series so the alarm names its source.
+    bool found_metric_label = false;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "metric") {
+        EXPECT_EQ(v, "step_seconds");
+        found_metric_label = true;
+      }
+    }
+    EXPECT_TRUE(found_metric_label);
+  }
+  EXPECT_DOUBLE_EQ(overflow, 2.0);
+}
+
+TEST(Metrics, NoOverflowCounterWhenInRange) {
+  MetricsRegistry reg;
+  reg.histogram("step_seconds").observe(12.0);
+  for (const auto& s : reg.snapshot().samples) {
+    EXPECT_NE(s.name, "telemetry_sketch_overflow_total");
+  }
+}
+
+TEST(Dashboard, SurfacesSketchOverflow) {
+  MetricsRegistry reg;
+  TrainingDashboard dash(&reg);
+  reg.histogram("step_seconds").observe(1.0);
+  EXPECT_EQ(dash.report().find("sketch overflow"), std::string::npos);
+  reg.histogram("step_seconds").observe(5.0e12);  // mis-scaled sample
+  EXPECT_NE(dash.report().find("sketch overflow"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ms::telemetry

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Regression gate for the canonical BENCH_*.json bench artifacts.
+
+Every bench binary writes BENCH_<name>.json (see bench/common.h) with a
+`metrics` object (regression-gated values), a `tolerances` object (the
+per-metric relative tolerance the bench author chose), and an `info`
+object (wall-clock / host-dependent values that are recorded but never
+gated).  This script compares a directory of freshly produced artifacts
+against the committed baselines in bench/baselines/:
+
+  * every baseline metric must exist in the fresh artifact,
+  * |fresh - base| <= rel_tol * max(|base|, 1e-12)  (rel_tol == 0 means
+    the value must be bit-identical after %.17g rendering),
+  * metrics present only in the fresh artifact are reported as NEW (not
+    a failure -- commit a refreshed baseline to start gating them),
+  * info values are reported for context but never fail the gate.
+
+Usage:
+  tools/bench_gate.py [--baselines bench/baselines] [--fresh .] [names...]
+  tools/bench_gate.py --update   # copy fresh artifacts over the baselines
+
+Exit status: 0 when every compared bench passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import shutil
+import sys
+
+EPS = 1e-12
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def fmt(v: float) -> str:
+    return "%.17g" % v
+
+
+def compare(name: str, base: dict, fresh: dict) -> tuple[bool, list[str]]:
+    """Returns (passed, report lines) for one bench."""
+    lines: list[str] = []
+    ok = True
+    base_metrics = base.get("metrics", {})
+    fresh_metrics = fresh.get("metrics", {})
+    tols = base.get("tolerances", {})
+
+    for key in sorted(base_metrics):
+        b = float(base_metrics[key])
+        tol = float(tols.get(key, 0.05))
+        if key not in fresh_metrics:
+            ok = False
+            lines.append(f"  FAIL {key}: missing from fresh artifact")
+            continue
+        f = float(fresh_metrics[key])
+        if tol == 0.0:
+            good = fmt(b) == fmt(f)
+            drift = "exact" if good else f"{fmt(b)} != {fmt(f)}"
+        else:
+            denom = max(abs(b), EPS)
+            rel = abs(f - b) / denom
+            good = math.isfinite(rel) and rel <= tol
+            drift = f"drift {rel * 100:.2f}% (tol {tol * 100:.1f}%)"
+        if good:
+            lines.append(f"  ok   {key}: {fmt(f)}  [{drift}]")
+        else:
+            ok = False
+            lines.append(
+                f"  FAIL {key}: baseline {fmt(b)} fresh {fmt(f)}  [{drift}]")
+
+    for key in sorted(set(fresh_metrics) - set(base_metrics)):
+        lines.append(f"  NEW  {key}: {fmt(float(fresh_metrics[key]))} "
+                     "(not in baseline -- refresh to gate it)")
+
+    for key in sorted(fresh.get("info", {})):
+        lines.append(f"  info {key}: {fmt(float(fresh['info'][key]))}")
+
+    return ok, lines
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory of committed BENCH_*.json baselines")
+    ap.add_argument("--fresh", default=".",
+                    help="directory holding freshly produced BENCH_*.json")
+    ap.add_argument("--update", action="store_true",
+                    help="copy fresh artifacts over the baselines and exit")
+    ap.add_argument("names", nargs="*",
+                    help="bench names to gate (default: every baseline)")
+    args = ap.parse_args()
+
+    if args.update:
+        os.makedirs(args.baselines, exist_ok=True)
+        copied = 0
+        for entry in sorted(os.listdir(args.fresh)):
+            if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+                continue
+            name = entry[len("BENCH_"):-len(".json")]
+            if args.names and name not in args.names:
+                continue
+            load(os.path.join(args.fresh, entry))  # must parse
+            shutil.copyfile(os.path.join(args.fresh, entry),
+                            os.path.join(args.baselines, entry))
+            print(f"updated {os.path.join(args.baselines, entry)}")
+            copied += 1
+        if copied == 0:
+            print("bench_gate: no BENCH_*.json artifacts found to update",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if not os.path.isdir(args.baselines):
+        print(f"bench_gate: no baseline directory {args.baselines}",
+              file=sys.stderr)
+        return 1
+
+    selected = []
+    for entry in sorted(os.listdir(args.baselines)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        name = entry[len("BENCH_"):-len(".json")]
+        if args.names and name not in args.names:
+            continue
+        selected.append((name, entry))
+    if args.names:
+        known = {name for name, _ in selected}
+        for name in args.names:
+            if name not in known:
+                print(f"bench_gate: no baseline for '{name}'", file=sys.stderr)
+                return 1
+    if not selected:
+        print("bench_gate: no baselines selected", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for name, entry in selected:
+        base = load(os.path.join(args.baselines, entry))
+        fresh_path = os.path.join(args.fresh, entry)
+        if not os.path.exists(fresh_path):
+            print(f"== {name}: FAIL (missing fresh artifact {fresh_path})")
+            failures += 1
+            continue
+        fresh = load(fresh_path)
+        ok, lines = compare(name, base, fresh)
+        print(f"== {name}: {'ok' if ok else 'FAIL'}")
+        for line in lines:
+            print(line)
+        if not ok:
+            failures += 1
+
+    total = len(selected)
+    print(f"\nbench_gate: {total - failures}/{total} benches within tolerance")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,8 +5,12 @@
 //   msdiag flight out/flight-000.jsonl --perfetto flight.json
 //   msdiag export out/trace.jsonl annotated.json
 //   msdiag demo out/trace.jsonl [--straggler R | --slow-link S] [--factor F]
+//   msdiag ledger out/fig11_ledger.jsonl [--json] [--no-chart]
+//   msdiag ledger --diff base.jsonl cand.jsonl
 //
-// `demo` is the one command implemented here rather than in src/diag: it
+// `demo` and `ledger` are the two commands implemented here rather than in
+// src/diag: `ledger` renders telemetry::RunLedger artifacts (src/diag cannot
+// depend on the telemetry dashboard layer), and `demo` is below. `demo`
 // links the training-iteration engine (which src/diag cannot depend on) to
 // synthesize a realistic single-step trace, optionally with an injected
 // straggler stage or degraded p2p link, then writes the JSONL artifact the
@@ -25,6 +29,7 @@
 #include "diag/msdiag.h"
 #include "engine/job.h"
 #include "telemetry/exporters.h"
+#include "telemetry/ledger.h"
 #include "telemetry/trace.h"
 
 namespace {
@@ -126,6 +131,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
   if (!args.empty() && args.front() == "demo") {
     return demo_main({args.begin() + 1, args.end()}, std::cout, std::cerr);
+  }
+  if (!args.empty() && args.front() == "ledger") {
+    return ms::telemetry::ledger_main({args.begin() + 1, args.end()},
+                                      std::cout, std::cerr);
+  }
+  if (args.empty() || args.front() == "--help" || args.front() == "-h") {
+    std::cerr << ms::diag::msdiag_usage() << ms::telemetry::ledger_usage();
+    return args.empty() ? 1 : 0;
   }
   return ms::diag::msdiag_main(args, std::cout, std::cerr);
 }

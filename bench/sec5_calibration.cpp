@@ -1,0 +1,156 @@
+// The calibration fidelity loop as a regression-gated bench: emit one
+// traced step of the fixture workload with known off-nominal parameters,
+// fit operator efficiencies and alpha-beta collective parameters back out
+// of the trace (`msdiag calibrate` in-process), then replay the fit
+// through the simulator. Gated: the recovered parameters (the round-trip
+// accuracy the docs promise), the exact fitted-span count, and the binary
+// round-trip/replay verdicts. The raw residuals are near-zero by
+// construction, so they ride along as ungated info.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "calib/calibrate_cli.h"
+#include "calib/fit.h"
+#include "calib/ingest.h"
+#include "calib/replay.h"
+#include "telemetry/exporters.h"
+#include "telemetry/trace.h"
+
+using namespace ms;
+
+namespace {
+
+constexpr double kTrueGemm = 0.65;
+constexpr double kTrueAttn = 0.50;
+constexpr double kTrueMem = 0.95;
+constexpr double kTrueNet = 0.85;
+constexpr double kTolerance = 0.02;
+
+/// Largest relative recovery error across the five fitted parameters.
+double worst_recovery(const calib::CalibrationReport& report,
+                      const engine::JobConfig& base) {
+  auto rel = [](double got, double want) {
+    return std::fabs(got - want) / want;
+  };
+  double worst = rel(report.ops.gemm_efficiency, kTrueGemm);
+  worst = std::max(worst, rel(report.ops.attention_efficiency, kTrueAttn));
+  worst = std::max(worst, rel(report.ops.memory_efficiency, kTrueMem));
+  for (const auto& f : report.coll) {
+    if (!f.fitted || f.domain != collective::Domain::kInterNode) continue;
+    worst = std::max(worst, rel(static_cast<double>(f.alpha),
+                                static_cast<double>(base.cluster.net_latency)));
+    worst = std::max(worst, rel(f.bandwidth, kTrueNet * base.cluster.nic_bw));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §5 calibration: trace -> fit -> replay round trip ===\n\n");
+
+  // ---- emit: one traced step with known "true" parameters ----
+  engine::JobConfig gen = calib::fixture_config();
+  gen.ops.gemm_efficiency = kTrueGemm;
+  gen.ops.attention_efficiency = kTrueAttn;
+  gen.ops.flash_attention2_efficiency = kTrueAttn;
+  gen.cluster.gpu.hbm_bw *= kTrueMem;
+  gen.network_efficiency = kTrueNet;
+  telemetry::Tracer tracer;
+  gen.tracer = &tracer;
+  const engine::IterationResult iter = engine::simulate_iteration(gen);
+  const auto spans = tracer.spans();
+  std::printf("emitted %zu spans (step %s; gemm %.2f attn %.2f mem %.2f "
+              "net %.2f)\n\n",
+              spans.size(), format_duration(iter.iteration_time).c_str(),
+              kTrueGemm, kTrueAttn, kTrueMem, kTrueNet);
+
+  // ---- ingest throughput (wall clock: reported, never gated) ----
+  const std::string jsonl = telemetry::jsonl_spans(spans);
+  calib::IngestResult ingested;
+  std::string ingest_error;
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool ingest_ok = calib::ingest_trace(jsonl, ingested, ingest_error);
+  const double ingest_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (!ingest_ok || ingested.spans.size() != spans.size()) {
+    std::fprintf(stderr, "ingest failed: %s\n", ingest_error.c_str());
+    return 1;
+  }
+  std::printf("ingested %zu spans (%.2f MB) in %.1f ms (%.0f spans/s)\n\n",
+              ingested.spans.size(),
+              static_cast<double>(jsonl.size()) / (1024.0 * 1024.0),
+              ingest_s * 1000.0,
+              static_cast<double>(ingested.spans.size()) /
+                  std::max(ingest_s, 1e-9));
+
+  // ---- fit against the nominal base config ----
+  const engine::JobConfig base = calib::fixture_config();
+  const calib::CalibrationReport report = calib::fit_trace(spans, base);
+  std::printf("%s\n", calib::report_table(report).c_str());
+  if (!report.ok) {
+    std::fprintf(stderr, "calibration failed: %s\n", report.error.c_str());
+    return 1;
+  }
+
+  // ---- replay: the fitted simulator must reproduce the trace ----
+  const calib::ReplayResult replay =
+      calib::replay_fit(spans, report, base, kTolerance);
+  std::printf("%s\n", calib::replay_table(replay).c_str());
+
+  const double worst = worst_recovery(report, base);
+  const bool round_trip_ok = report.ops.fitted && !report.ops.degenerate &&
+                             worst <= 0.01;
+  std::printf("worst parameter recovery error %.4f%% -> %s\n", worst * 100.0,
+              round_trip_ok ? "OK (<= 1%)" : "FAILED");
+
+  bench::BenchReport br("calibration");
+  br.config("preset", "fixture");
+  br.config("true_gemm_efficiency", kTrueGemm);
+  br.config("true_attention_efficiency", kTrueAttn);
+  br.config("true_memory_efficiency", kTrueMem);
+  br.config("true_network_efficiency", kTrueNet);
+  br.config("replay_tolerance", kTolerance);
+
+  // Gated: recovered parameters (1% drift budget — the round-trip promise),
+  // the exact span accounting, and the binary verdicts.
+  br.metric("fitted_gemm_efficiency", report.ops.gemm_efficiency, 0.01);
+  br.metric("fitted_attention_efficiency", report.ops.attention_efficiency,
+            0.01);
+  br.metric("fitted_memory_efficiency", report.ops.memory_efficiency, 0.01);
+  for (const auto& f : report.coll) {
+    if (!f.fitted || f.domain != collective::Domain::kInterNode) continue;
+    br.metric("fitted_alpha_inter_us",
+              to_seconds(f.alpha) * 1.0e6, 0.01);
+    br.metric("fitted_bandwidth_inter_gbps", to_gbps(f.bandwidth), 0.01);
+  }
+  br.metric("spans_fitted", static_cast<double>(report.spans_fitted), 0.0);
+  br.metric("round_trip_ok", round_trip_ok ? 1.0 : 0.0, 0.0);
+  br.metric("replay_within_tolerance",
+            replay.ok && replay.within_tolerance ? 1.0 : 0.0, 0.0);
+
+  // Ungated context: residuals hover at numerical zero (the generator and
+  // the feature model are the same code), so gating them relatively would
+  // be noise-fragile.
+  br.info("fit_rel_rms", report.fit_rel_rms);
+  br.info("replay_rel_error", replay.rel_error);
+  br.info("replay_max_share_delta", replay.max_share_delta);
+  br.info("worst_recovery_rel", worst);
+  br.info("trace_step_s", to_seconds(iter.iteration_time));
+  br.info("spans_total", static_cast<double>(report.spans_total));
+  br.info("ingest_spans_per_s", static_cast<double>(ingested.spans.size()) /
+                                    std::max(ingest_s, 1e-9));
+  br.info("ingest_mb_per_s", static_cast<double>(jsonl.size()) /
+                                 (1024.0 * 1024.0) /
+                                 std::max(ingest_s, 1e-9));
+  if (!br.write()) {
+    std::fprintf(stderr, "cannot write BENCH_calibration.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_calibration.json\n");
+  return round_trip_ok && replay.ok && replay.within_tolerance ? 0 : 1;
+}

@@ -1,0 +1,221 @@
+#include "calib/calibrate_cli.h"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "calib/fit.h"
+#include "calib/ingest.h"
+#include "calib/replay.h"
+#include "diag/artifact.h"
+#include "telemetry/exporters.h"
+#include "telemetry/trace.h"
+
+namespace ms::calib {
+
+namespace {
+
+constexpr double kDefaultTolerance = 0.02;
+
+struct Options {
+  std::string trace_path;
+  std::string emit_path;
+  std::string fitted_out;
+  std::string preset = "fixture";
+  bool as_json = false;
+  bool no_replay = false;
+  double tolerance = kDefaultTolerance;
+  // --emit generating parameters (defaults deliberately off the profile
+  // nominals so a fixture round-trip proves real recovery).
+  double gemm_eff = 0.65;
+  double attn_eff = 0.50;
+  double mem_eff = 0.95;
+  double net_eff = 0.85;
+};
+
+bool parse_args(const std::vector<std::string>& args, Options& opt,
+                std::ostream& err) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < args.size()) ? args[++i].c_str() : nullptr;
+    };
+    auto num_value = [&](double& slot) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      slot = std::atof(v);
+      return true;
+    };
+    if (arg == "--emit") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.emit_path = v;
+    } else if (arg == "--preset") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.preset = v;
+    } else if (arg == "--fitted-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.fitted_out = v;
+    } else if (arg == "--json") {
+      opt.as_json = true;
+    } else if (arg == "--no-replay") {
+      opt.no_replay = true;
+    } else if (arg == "--tolerance") {
+      if (!num_value(opt.tolerance)) return false;
+    } else if (arg == "--gemm-eff") {
+      if (!num_value(opt.gemm_eff)) return false;
+    } else if (arg == "--attn-eff") {
+      if (!num_value(opt.attn_eff)) return false;
+    } else if (arg == "--mem-eff") {
+      if (!num_value(opt.mem_eff)) return false;
+    } else if (arg == "--net-eff") {
+      if (!num_value(opt.net_eff)) return false;
+    } else if (opt.trace_path.empty() && !arg.empty() && arg[0] != '-') {
+      opt.trace_path = arg;
+    } else {
+      err << "msdiag calibrate: unknown argument \"" << arg << "\"\n";
+      return false;
+    }
+  }
+  if (opt.preset != "fixture" && opt.preset != "demo") {
+    err << "msdiag calibrate: unknown preset \"" << opt.preset
+        << "\" (expected fixture|demo)\n";
+    return false;
+  }
+  return true;
+}
+
+int emit_main(const Options& opt, std::ostream& out, std::ostream& err) {
+  engine::JobConfig cfg =
+      opt.preset == "demo" ? demo_config() : fixture_config();
+  cfg.ops.gemm_efficiency = opt.gemm_eff;
+  cfg.ops.attention_efficiency = opt.attn_eff;
+  cfg.ops.flash_attention2_efficiency = opt.attn_eff;
+  cfg.cluster.gpu.hbm_bw *= opt.mem_eff;
+  cfg.network_efficiency = opt.net_eff;
+  if (const std::string problem = engine::validate(cfg); !problem.empty()) {
+    err << "msdiag calibrate: invalid emit config: " << problem << "\n";
+    return 1;
+  }
+  telemetry::Tracer tracer;
+  cfg.tracer = &tracer;
+  const engine::IterationResult result = engine::simulate_iteration(cfg);
+  if (!diag::write_text_file(opt.emit_path,
+                             telemetry::jsonl_spans(tracer.spans()))) {
+    err << "msdiag calibrate: cannot write " << opt.emit_path << "\n";
+    return 1;
+  }
+  out << "wrote " << opt.emit_path << " (" << tracer.size()
+      << " spans, step " << format_duration(result.iteration_time)
+      << ", gemm " << opt.gemm_eff << " attn " << opt.attn_eff << " mem "
+      << opt.mem_eff << " net " << opt.net_eff << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+engine::JobConfig fixture_config() {
+  engine::JobConfig cfg;
+  cfg.model = model::config_13b();
+  cfg.par.tp = 1;
+  cfg.par.pp = 4;
+  cfg.par.vpp = 2;
+  cfg.par.dp = 4;
+  cfg.global_batch = 64;
+  cfg.ops = model::OperatorProfile::megascale();
+  cfg.overlap = engine::OverlapOptions::megascale();
+  return cfg;
+}
+
+engine::JobConfig demo_config() {
+  engine::JobConfig cfg;
+  cfg.model = model::config_175b();
+  cfg.par.tp = 8;
+  cfg.par.pp = 8;
+  cfg.par.vpp = 6;
+  cfg.par.dp = 4;
+  cfg.global_batch = 256;
+  cfg.ops = model::OperatorProfile::megascale();
+  cfg.overlap = engine::OverlapOptions::megascale();
+  return cfg;
+}
+
+std::string calibrate_usage() {
+  return "  msdiag calibrate <trace> [--preset fixture|demo] [--json]\n"
+         "                   [--fitted-out FILE] [--no-replay] [--tolerance "
+         "T]\n"
+         "      fit operator/collective parameters to a trace (span JSONL or\n"
+         "      Chrome/Kineto JSON) and validate by re-simulation\n"
+         "  msdiag calibrate --emit <out.jsonl> [--preset fixture|demo]\n"
+         "                   [--gemm-eff X] [--attn-eff X] [--mem-eff X] "
+         "[--net-eff X]\n"
+         "      simulate one step with known parameters and write the trace\n";
+}
+
+int calibrate_main(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+  Options opt;
+  if (!parse_args(args, opt, err)) {
+    err << calibrate_usage();
+    return 1;
+  }
+  if (!opt.emit_path.empty()) return emit_main(opt, out, err);
+  if (opt.trace_path.empty()) {
+    err << calibrate_usage();
+    return 1;
+  }
+
+  IngestResult ingest;
+  std::string error;
+  if (!ingest_trace_file(opt.trace_path, ingest, error)) {
+    err << "msdiag calibrate: " << error << "\n";
+    return 1;
+  }
+  for (const auto& w : ingest.warnings) {
+    err << "msdiag calibrate: warning: " << w << "\n";
+  }
+
+  const engine::JobConfig base =
+      opt.preset == "demo" ? demo_config() : fixture_config();
+  const CalibrationReport report = fit_trace(ingest.spans, base);
+
+  ReplayResult replay;
+  const bool run_replay = !opt.no_replay && report.ok;
+  if (run_replay) {
+    replay = replay_fit(ingest.spans, report, base, opt.tolerance);
+  }
+
+  std::string artifact = report_jsonl(report);
+  if (run_replay) artifact += replay_jsonl(replay);
+  if (!opt.fitted_out.empty() &&
+      !diag::write_text_file(opt.fitted_out, artifact)) {
+    err << "msdiag calibrate: cannot write " << opt.fitted_out << "\n";
+    return 1;
+  }
+
+  if (opt.as_json) {
+    out << artifact;
+  } else {
+    if (ingest.skipped_events > 0) {
+      out << "ingested " << ingest.spans.size() << " spans ("
+          << ingest.skipped_events << " events skipped)\n";
+    }
+    out << report_table(report);
+    if (run_replay) out << "\n" << replay_table(replay);
+  }
+
+  if (!report.ok) {
+    err << "msdiag calibrate: " << report.error << "\n";
+    return 1;
+  }
+  if (run_replay && (!replay.ok || !replay.within_tolerance)) {
+    err << "msdiag calibrate: replay "
+        << (replay.ok ? "out of tolerance" : "failed: " + replay.error)
+        << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace ms::calib

@@ -1,0 +1,94 @@
+// Span classification for calibration: operator classes and collective
+// classes (MegaScale §5 diagnosis meets the model/ops + collective/plan
+// taxonomies).
+//
+// Engine-emitted spans are classified from their structured attributes
+// (tag, `head=`, `grp=`, `n=`, `B=`); spans from external profilers fall
+// back to kernel-name keywords (aten::mm, ncclKernel_AllReduce_..., flash
+// attention, fused layernorm, Adam). Operator classes bind to the linear
+// feature model in fit.h; collective classes carry the α–β design-row
+// coefficients of the ring algorithms in collective/comm.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collective/comm.h"
+#include "core/units.h"
+#include "diag/depgraph.h"
+#include "diag/timeline.h"
+
+namespace ms::calib {
+
+/// Operator classes with distinct linear-feature rows (fit.h). The head
+/// variants include the vocabulary projection, which is what makes the
+/// GEMM direction separable from attention in the normal equations.
+enum class OpClass {
+  kFwd,
+  kBwd,
+  kFwdHead,
+  kBwdHead,
+  kOptimizer,
+};
+const char* op_class_name(OpClass cls);
+
+enum class CollOp {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kAllToAll,
+  kBroadcast,
+  kP2p,
+};
+const char* coll_op_name(CollOp op);
+
+struct ClassifiedSpan {
+  enum class Kind {
+    kOperator,    ///< compute span bound to an OpClass feature row
+    kCollective,  ///< communication span with α–β design coefficients
+    kOther,       ///< recognized but not fitted (data, recv side, bubbles)
+  };
+  Kind kind = Kind::kOther;
+  std::size_t span = 0;  ///< index into the ingested span vector
+
+  // kOperator:
+  OpClass op = OpClass::kFwd;
+
+  // kCollective:
+  CollOp coll = CollOp::kP2p;
+  int ranks = 2;
+  Bytes bytes = 0;
+  collective::Domain domain = collective::Domain::kInterNode;
+  /// Back-to-back invocations folded into one span (bucketed DP
+  /// collectives carry `calls=<vpp>`); design coefficients scale by it.
+  int calls = 1;
+
+  /// Residual-report bucket, e.g. "bwd+head", "allgather/n=4/inter",
+  /// "kernel:gemm" (unfitted coverage classes).
+  std::string label;
+};
+
+struct Classification {
+  std::vector<ClassifiedSpan> spans;  // one entry per input span, same order
+  std::size_t operators = 0;
+  std::size_t collectives = 0;
+  std::size_t other = 0;
+  /// Spans that looked like collectives but lacked usable size attributes
+  /// (`B=`/bytes and `n=`); counted so coverage loss is visible.
+  std::size_t unusable_collectives = 0;
+};
+
+/// Classifies every span. Never fails: unrecognized spans land in kOther
+/// with a best-effort label.
+Classification classify_spans(const std::vector<diag::TraceSpan>& spans);
+
+/// α–β design row of one collective span: duration ≈ lat_coeff * alpha +
+/// byte_coeff * (1/bandwidth), per the ring formulas in collective/comm.h.
+struct CollDesignRow {
+  double lat_coeff = 0;   // multiples of the per-hop latency alpha
+  double byte_coeff = 0;  // effective bytes moved through the bottleneck
+};
+CollDesignRow coll_design_row(const ClassifiedSpan& s);
+
+}  // namespace ms::calib

@@ -1,0 +1,142 @@
+#include "calib/lsq.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace ms::calib {
+
+namespace {
+
+/// Gaussian elimination with partial pivoting on the (symmetric) normal
+/// matrix. Returns the numerical rank; when a pivot falls below
+/// `pivot_tol` relative to the largest diagonal entry, the corresponding
+/// unknown is left at zero and counted out of the rank.
+int eliminate(std::vector<std::vector<double>>& m, std::vector<double>& rhs,
+              std::vector<double>& x, double pivot_tol) {
+  const std::size_t n = rhs.size();
+  double scale = 0;
+  for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::fabs(m[i][i]));
+  if (scale <= 0) scale = 1.0;
+  const double threshold = pivot_tol * scale;
+
+  std::vector<std::size_t> pivot_row(n);
+  std::vector<bool> used(n, false);
+  int rank = 0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t best = n;
+    double best_abs = threshold;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (used[r]) continue;
+      const double a = std::fabs(m[r][col]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = r;
+      }
+    }
+    pivot_row[col] = best;
+    if (best == n) continue;  // deficient direction
+    used[best] = true;
+    ++rank;
+    const double inv = 1.0 / m[best][col];
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == best) continue;
+      const double f = m[r][col] * inv;
+      if (f == 0) continue;
+      for (std::size_t c = 0; c < n; ++c) m[r][c] -= f * m[best][c];
+      rhs[r] -= f * rhs[best];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) {
+    const std::size_t r = pivot_row[col];
+    if (r == n) continue;
+    x[col] = rhs[r] / m[r][col];
+  }
+  return rank;
+}
+
+bool all_finite(const std::vector<double>& v) {
+  for (double d : v) {
+    if (!std::isfinite(d)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LsqResult solve_least_squares(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& y) {
+  LsqResult out;
+  if (rows.empty()) {
+    out.error = "no samples";
+    return out;
+  }
+  if (rows.size() != y.size()) {
+    out.error = "rows/targets size mismatch";
+    return out;
+  }
+  const std::size_t n = rows.front().size();
+  if (n == 0) {
+    out.error = "no unknowns";
+    return out;
+  }
+  for (const auto& row : rows) {
+    if (row.size() != n) {
+      out.error = "ragged design matrix";
+      return out;
+    }
+  }
+
+  // Normal equations.
+  std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0.0));
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row[i] == 0) continue;
+      atb[i] += row[i] * y[r];
+      for (std::size_t j = i; j < n; ++j) ata[i][j] += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) ata[i][j] = ata[j][i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(ata[i][i]) || !std::isfinite(atb[i])) {
+      out.error = "non-finite design matrix";
+      return out;
+    }
+  }
+
+  constexpr double kPivotTol = 1e-10;
+  auto m = ata;
+  auto rhs = atb;
+  out.rank = eliminate(m, rhs, out.x, kPivotTol);
+  out.degenerate = out.rank < static_cast<int>(n);
+
+  if (out.degenerate || !all_finite(out.x)) {
+    // Ridge fallback: λ proportional to the mean diagonal keeps the solve
+    // scale-invariant and the solution finite; degeneracy stays flagged so
+    // callers report it instead of trusting the underdetermined directions.
+    double trace = 0;
+    for (std::size_t i = 0; i < n; ++i) trace += ata[i][i];
+    const double lambda =
+        (trace > 0 ? trace / static_cast<double>(n) : 1.0) * 1e-8;
+    m = ata;
+    rhs = atb;
+    for (std::size_t i = 0; i < n; ++i) m[i][i] += lambda;
+    std::vector<double> ridge_x;
+    const int ridge_rank = eliminate(m, rhs, ridge_x, kPivotTol);
+    if (ridge_rank == static_cast<int>(n) && all_finite(ridge_x)) {
+      out.x = std::move(ridge_x);
+      out.ridge_used = true;
+    } else if (!all_finite(out.x)) {
+      out.error = "singular system (ridge fallback failed)";
+      return out;
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace ms::calib

@@ -1,0 +1,38 @@
+// Dense linear least squares for the calibration fitter.
+//
+// The fitting problems here are tiny (2–4 unknowns, tens-to-thousands of
+// rows), so the solver forms the normal equations AᵀA x = Aᵀb explicitly
+// and runs Gaussian elimination with partial pivoting. What it guarantees,
+// because the satellite tests demand it, is *diagnosability*: a singular or
+// rank-deficient system is reported as `degenerate` (with the rank found),
+// never as NaN parameters — a ridge term (λ scaled to the matrix trace)
+// regularizes the solve so the returned vector is always finite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ms::calib {
+
+struct LsqResult {
+  /// Fitted coefficients; always finite when `ok`.
+  std::vector<double> x;
+  bool ok = false;
+  /// Numerical rank of AᵀA found during elimination.
+  int rank = 0;
+  /// True when the system was rank-deficient (collinear or missing rows)
+  /// and the ridge fallback produced `x`. The parameters are stable and
+  /// finite but underdetermined — callers must surface this.
+  bool degenerate = false;
+  /// True when ridge regularization was applied (degenerate systems, or a
+  /// well-posed solve that still produced non-finite values).
+  bool ridge_used = false;
+  std::string error;  ///< set when !ok (empty system, dimension mismatch)
+};
+
+/// Solves min ‖A x − b‖² for A given as `rows` (each of equal width).
+/// Weighted rows are expressed by pre-scaling a row and its target.
+LsqResult solve_least_squares(const std::vector<std::vector<double>>& rows,
+                              const std::vector<double>& y);
+
+}  // namespace ms::calib

@@ -1,8 +1,10 @@
 #include "core/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace ms::json {
 
@@ -117,9 +119,28 @@ class Parser {
     ++pos_;  // closing quote
     return true;
   }
+  bool word(const char* w) {
+    for (const char* p = w; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
   bool number_body(Value& out) {
     const std::size_t start = pos_;
     if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    // Kineto/PyTorch profiler exports write bare NaN/Infinity tokens for
+    // undefined counter values; tolerate them (JSON5-style) instead of
+    // failing the whole artifact.
+    if (pos_ < s_.size() && (s_[pos_] == 'N' || s_[pos_] == 'I')) {
+      const bool neg = s_[start] == '-';
+      const bool is_nan = s_[pos_] == 'N';
+      if (!(is_nan ? word("NaN") : word("Infinity"))) return false;
+      out.kind = Value::Kind::kNumber;
+      out.number = is_nan ? std::numeric_limits<double>::quiet_NaN()
+                          : (neg ? -std::numeric_limits<double>::infinity()
+                                 : std::numeric_limits<double>::infinity());
+      return true;
+    }
     bool digits = false;
     auto eat_digits = [&] {
       while (pos_ < s_.size() &&

@@ -192,12 +192,13 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
     if (head) d += " head=1";
     return d;
   };
-  auto transfer_detail = [](int from, int to, int cons_chunk, int prod_chunk,
-                            int mb, bool is_bwd) {
+  auto transfer_detail = [&](int from, int to, int cons_chunk, int prod_chunk,
+                             int mb, bool is_bwd) {
     return "p=" + (is_bwd ? std::string("b") : std::string("f")) +
            " mb=" + std::to_string(mb) + " from=" + std::to_string(from) +
            " to=" + std::to_string(to) + " c=" + std::to_string(cons_chunk) +
-           " pc=" + std::to_string(prod_chunk);
+           " pc=" + std::to_string(prod_chunk) +
+           " B=" + std::to_string(p2p_bytes);
   };
 
   // Compute op per (stage, chunk, microbatch, pass).
@@ -370,6 +371,20 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
 
     std::vector<sim::OpId> rs_ops;
     if (par.dp > 1) {
+      // Collective-size attributes for the trace consumers (§5 diagnosis,
+      // calibration): `op=` names the wire collective (ZeRO stage <= 1
+      // all-reduces under the reduce-scatter op name), `B=` the per-call
+      // payload, `calls=` how many back-to-back calls the span folds.
+      const int ag_calls = par.zero_stage >= 3 ? 2 : 1;
+      const char* rs_op = par.zero_stage <= 1 ? "allreduce" : "reducescatter";
+      auto coll_detail = [&](const std::string& base, const char* op,
+                             Bytes bytes, int calls) {
+        std::string d = base + " op=" + op + " B=" + std::to_string(bytes);
+        if (calls > 1) d += " calls=" + std::to_string(calls);
+        return d;
+      };
+      const Bytes ag_bytes = zero.allgather_bytes_per_chunk();
+      const Bytes rs_bytes = zero.reducescatter_bytes_per_chunk();
       if (cfg.overlap.dp_overlap) {
         // Chunk-wise, priority-ordered: the all-gather of the chunk needed
         // first carries the highest priority; the first one starts at t=0,
@@ -378,19 +393,21 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
           const std::string dd = "s=" + std::to_string(s) +
                                  " c=" + std::to_string(c) +
                                  " grp=dp n=" + std::to_string(par.dp);
-          sim::OpId ag = graph.add_op({.name = "dp-allgather",
-                                       .stream = dp_stream(s),
-                                       .duration = dp_ag_chunk,
-                                       .priority = vpp - c,
-                                       .tag = "dp-comm",
-                                       .detail = dd});
+          sim::OpId ag = graph.add_op(
+              {.name = "dp-allgather",
+               .stream = dp_stream(s),
+               .duration = dp_ag_chunk,
+               .priority = vpp - c,
+               .tag = "dp-comm",
+               .detail = coll_detail(dd, "allgather", ag_bytes, ag_calls)});
           graph.add_dep(ag, first_fwd[static_cast<std::size_t>(c)]);
-          sim::OpId rs = graph.add_op({.name = "dp-reducescatter",
-                                       .stream = dp_stream(s),
-                                       .duration = dp_rs_chunk,
-                                       .priority = c,
-                                       .tag = "dp-comm",
-                                       .detail = dd});
+          sim::OpId rs = graph.add_op(
+              {.name = "dp-reducescatter",
+               .stream = dp_stream(s),
+               .duration = dp_rs_chunk,
+               .priority = c,
+               .tag = "dp-comm",
+               .detail = coll_detail(dd, rs_op, rs_bytes, 1)});
           graph.add_dep(last_bwd[static_cast<std::size_t>(c)], rs);
           rs_ops.push_back(rs);
         }
@@ -405,7 +422,8 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
              .stream = dp_stream(s),
              .duration = vpp * dp_ag_chunk,
              .tag = "dp-comm",
-             .detail = dd});
+             .detail =
+                 coll_detail(dd, "allgather", ag_bytes, vpp * ag_calls)});
         graph.add_dep(data_op, ag);
         for (int c = 0; c < vpp; ++c) {
           graph.add_dep(ag, first_fwd[static_cast<std::size_t>(c)]);
@@ -415,7 +433,7 @@ IterationResult simulate_iteration(const JobConfig& cfg) {
              .stream = dp_stream(s),
              .duration = vpp * dp_rs_chunk,
              .tag = "dp-comm",
-             .detail = dd});
+             .detail = coll_detail(dd, rs_op, rs_bytes, vpp)});
         for (int c = 0; c < vpp; ++c) {
           graph.add_dep(last_bwd[static_cast<std::size_t>(c)], rs);
         }

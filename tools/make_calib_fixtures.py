@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Regenerates the calibration fixtures under tests/golden/calib/.
+
+Two artifacts, describing the *same* simulated step:
+
+  self_trace.jsonl   -- the repo's own span JSONL, produced by
+                        `msdiag calibrate --emit` with known off-nominal
+                        generating parameters (gemm 0.65, attn 0.50,
+                        mem 0.95, net 0.85);
+  kineto_trace.json  -- a Kineto/Chrome-trace re-export of the same spans,
+                        deliberately exercising the quirk tolerance of the
+                        ingest layer: string pids ("rank 0"), fractional-us
+                        timestamps, metadata/instant/counter events (one
+                        counter carrying NaN), an extra B/E pair, and an X
+                        event with a missing dur.
+
+`msdiag calibrate` must fit both to identical parameters (equal digests):
+the quirk events are all non-fittable and the real spans are value-equal.
+
+Usage: tools/make_calib_fixtures.py [--msdiag build/tools/msdiag]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN = os.path.join(REPO, "tests", "golden", "calib")
+
+GEN_PARAMS = ["--gemm-eff", "0.65", "--attn-eff", "0.50",
+              "--mem-eff", "0.95", "--net-eff", "0.85"]
+
+
+def emit_self_trace(msdiag: str, path: str) -> list[dict]:
+    subprocess.run([msdiag, "calibrate", "--emit", path, "--preset",
+                    "fixture", *GEN_PARAMS], check=True)
+    spans = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def kineto_events(spans: list[dict]) -> list[dict]:
+    """Re-exports spans as Chrome-trace events with Kineto quirks."""
+    events = []
+    # Metadata events with string pids -- the process_name noise every
+    # Kineto capture opens with.
+    ranks = sorted({s["rank"] for s in spans})
+    for r in ranks:
+        events.append({"ph": "M", "name": "process_name", "pid": f"rank {r}",
+                       "args": {"name": f"python {4000 + r}"}})
+    # A counter series; one sample carries NaN (bare token, not a string),
+    # which the JSON parser must tolerate.
+    events.append({"ph": "C", "name": "GPU 0 Utilization", "pid": "rank 0",
+                   "ts": 0.0, "args": {"GPU Utilization": float("nan")}})
+    events.append({"ph": "i", "name": "Iteration Start", "pid": "rank 0",
+                   "tid": "stream 7", "ts": 0.0, "s": "g"})
+    # An unfitted wrapper span as a B/E pair (profiler step bracket).
+    last_end_us = max(s["end_ns"] for s in spans) / 1000.0
+    events.append({"ph": "B", "name": "ProfilerStep#0", "pid": "rank 0",
+                   "tid": "step", "ts": 0.0})
+    # The real spans: complete events, fractional-us timestamps, string
+    # pids, the span detail carried verbatim in args (the round-trip path
+    # telemetry::chrome_trace uses), tag as cat.
+    for s in spans:
+        events.append({
+            "ph": "X",
+            "name": s["name"],
+            "cat": s["tag"],
+            "pid": f"rank {s['rank']}",
+            "tid": "stream 0",
+            "ts": s["start_ns"] / 1000.0,
+            "dur": (s["end_ns"] - s["start_ns"]) / 1000.0,
+            "args": {"detail": s.get("detail", ""),
+                     "External id": len(events)},
+        })
+    events.append({"ph": "E", "name": "ProfilerStep#0", "pid": "rank 0",
+                   "tid": "step", "ts": last_end_us})
+    # Truncated capture artifact: an X event that lost its dur.
+    events.append({"ph": "X", "name": "cudaDeviceSynchronize",
+                   "pid": "rank 0", "tid": "runtime", "ts": last_end_us})
+    return events
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--msdiag",
+                    default=os.path.join(REPO, "build", "tools", "msdiag"))
+    args = ap.parse_args()
+    os.makedirs(GOLDEN, exist_ok=True)
+
+    self_path = os.path.join(GOLDEN, "self_trace.jsonl")
+    spans = emit_self_trace(args.msdiag, self_path)
+    print(f"wrote {self_path} ({len(spans)} spans)")
+
+    kineto = {"schemaVersion": 1,
+              "deviceProperties": [{"name": "simulated A100"}],
+              "traceEvents": kineto_events(spans)}
+    kineto_path = os.path.join(GOLDEN, "kineto_trace.json")
+    with open(kineto_path, "w", encoding="utf-8") as f:
+        json.dump(kineto, f, indent=1)
+        f.write("\n")
+    print(f"wrote {kineto_path} ({len(kineto['traceEvents'])} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@
 //   msdiag demo out/trace.jsonl [--straggler R | --slow-link S] [--factor F]
 //   msdiag ledger out/fig11_ledger.jsonl [--json] [--no-chart]
 //   msdiag ledger --diff base.jsonl cand.jsonl
+//   msdiag calibrate trace.jsonl --preset fixture --fitted-out fit.jsonl
+//   msdiag calibrate --emit trace.jsonl --gemm-eff 0.65
 //
 // `demo` and `ledger` are the two commands implemented here rather than in
 // src/diag: `ledger` renders telemetry::RunLedger artifacts (src/diag cannot
@@ -24,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "calib/calibrate_cli.h"
 #include "diag/artifact.h"
 #include "diag/blame.h"
 #include "diag/msdiag.h"
@@ -136,8 +139,13 @@ int main(int argc, char** argv) {
     return ms::telemetry::ledger_main({args.begin() + 1, args.end()},
                                       std::cout, std::cerr);
   }
+  if (!args.empty() && args.front() == "calibrate") {
+    return ms::calib::calibrate_main({args.begin() + 1, args.end()}, std::cout,
+                                     std::cerr);
+  }
   if (args.empty() || args.front() == "--help" || args.front() == "-h") {
-    std::cerr << ms::diag::msdiag_usage() << ms::telemetry::ledger_usage();
+    std::cerr << ms::diag::msdiag_usage() << ms::telemetry::ledger_usage()
+              << ms::calib::calibrate_usage();
     return args.empty() ? 1 : 0;
   }
   return ms::diag::msdiag_main(args, std::cout, std::cerr);

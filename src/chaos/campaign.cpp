@@ -5,10 +5,45 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "telemetry/metrics.h"
 
 namespace ms::chaos {
+
+namespace {
+
+/// Per-seed result slot: written by exactly one worker, read only after
+/// the join barrier, so the slots themselves need no lock.
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  FaultSchedule schedule;
+  OutcomeRecord record;
+  OracleVerdict verdict;
+};
+
+/// Work-stealing cursor over seed indices. Workers pull the next index so
+/// skewed per-seed cost (a failing seed simulates far more than a passing
+/// one) never idles a thread.
+class SeedFanOut {
+ public:
+  explicit SeedFanOut(int n) : n_(n) {}
+
+  /// Next unclaimed seed index, or -1 when the campaign is exhausted.
+  int next() {
+    MutexLock lock(mu_);
+    return next_ < n_ ? next_++ : -1;
+  }
+
+ private:
+  const int n_;
+  Mutex mu_;
+  int next_ MS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
 
 OracleVerdict evaluate_outcome(const ChaosConfig& cfg,
                                const OutcomeRecord& record) {
@@ -93,33 +128,69 @@ CampaignResult run_campaign(const ChaosConfig& cfg, const Scenario& scenario,
   result.scenario = scenario.name;
   result.base_seed = base_seed;
   result.seeds = n_seeds;
-  for (int i = 0; i < n_seeds; ++i) {
-    const std::uint64_t seed =
+  if (n_seeds <= 0) return result;
+
+  std::vector<SeedOutcome> slots(static_cast<std::size_t>(n_seeds));
+  auto run_one = [&](int i) {
+    SeedOutcome& slot = slots[static_cast<std::size_t>(i)];
+    slot.seed =
         derive_seed(base_seed, "chaos.campaign", static_cast<std::uint64_t>(i));
-    const auto schedule = generate_schedule(cfg, scenario, seed);
-    auto record = run_schedule(cfg, scenario.name, seed, schedule);
-    const auto verdict = evaluate_outcome(cfg, record);
+    slot.schedule = generate_schedule(cfg, scenario, slot.seed);
+    slot.record = run_schedule(cfg, scenario.name, slot.seed, slot.schedule);
+    slot.verdict = evaluate_outcome(cfg, slot.record);
+  };
+
+  int workers = cfg.parallel_seeds;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (cfg.metrics != nullptr || cfg.flight != nullptr) {
+    // Attached sinks record in run order; one thread keeps metric
+    // registration order and flight-dump interleaving deterministic.
+    workers = 1;
+  }
+  workers = std::clamp(workers, 1, n_seeds);
+
+  if (workers > 1) {
+    SeedFanOut cursor(n_seeds);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (int i = cursor.next(); i >= 0; i = cursor.next()) run_one(i);
+      });
+    }
+    for (auto& t : pool) t.join();
+  } else {
+    for (int i = 0; i < n_seeds; ++i) run_one(i);
+  }
+
+  // Sequential post-pass in seed order: telemetry export and ddmin
+  // shrinking, so failure artifacts and counters come out identically at
+  // any fan-out width.
+  for (auto& slot : slots) {
     if (cfg.metrics != nullptr) {
       cfg.metrics
           ->counter("chaos_runs_total",
                     {{"scenario", scenario.name},
-                     {"outcome", verdict.pass ? "pass" : "fail"}})
+                     {"outcome", slot.verdict.pass ? "pass" : "fail"}})
           .add();
     }
-    if (verdict.pass) {
+    if (slot.verdict.pass) {
       ++result.passed;
     } else {
       CampaignFailure failure;
-      failure.seed = seed;
-      failure.record = record;
-      failure.reason = verdict.reason;
-      failure.minimized = shrink_schedule(cfg, scenario.name, seed, schedule);
+      failure.seed = slot.seed;
+      failure.record = slot.record;
+      failure.reason = slot.verdict.reason;
+      failure.minimized =
+          shrink_schedule(cfg, scenario.name, slot.seed, slot.schedule);
       failure.minimized_record =
-          run_schedule(cfg, scenario.name, seed, failure.minimized);
-      failure.repro = repro_command(scenario.name, seed, cfg.canary);
+          run_schedule(cfg, scenario.name, slot.seed, failure.minimized);
+      failure.repro = repro_command(scenario.name, slot.seed, cfg.canary);
       result.failures.push_back(std::move(failure));
     }
-    result.records.push_back(std::move(record));
+    result.records.push_back(std::move(slot.record));
   }
   return result;
 }

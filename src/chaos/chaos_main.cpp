@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
   auto write_flight_dumps = [&] {
     if (flight_dir.empty()) return;
     constexpr std::size_t kMaxDumps = 16;
-    const auto& dumps = flight.dumps();
+    const auto dumps = flight.dumps();
     for (std::size_t i = 0; i < dumps.size() && i < kMaxDumps; ++i) {
       char name[48];
       std::snprintf(name, sizeof(name), "flight-%03zu.jsonl", i);

@@ -72,6 +72,14 @@ struct ChaosConfig {
   /// CLI; tests set it directly.
   bool canary = false;
 
+  /// Seed fan-out width for run_campaign. 0 = auto (hardware concurrency),
+  /// 1 = serial. Parallel fan-out only engages when `metrics` and `flight`
+  /// are both null: those sinks record in run order, and keeping them on a
+  /// single thread is what keeps metric registration order and flight-dump
+  /// interleaving deterministic. Results are slot-indexed by seed, so the
+  /// campaign output is bit-identical at any width.
+  int parallel_seeds = 0;
+
   /// Optional telemetry (not owned): chaos_runs_total{scenario,outcome},
   /// per-scenario recovery-latency histograms, effective-ratio gauges.
   telemetry::MetricsRegistry* metrics = nullptr;

@@ -3,9 +3,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace ms::check {
 
@@ -14,12 +16,12 @@ struct Auditor::Impl {
   std::atomic<std::uint64_t> violations{0};
   std::atomic<bool> abort_on_violation{false};
 
-  mutable std::mutex mu;
-  // Guarded by mu. Keys are "domain\x1finvariant"; order preserved for
-  // snapshot() so the first drift stays at the top of any report.
-  std::unordered_map<std::string, std::size_t> index;
-  std::vector<Violation> tallies;
-  ViolationSink sink;
+  mutable Mutex mu;
+  // Keys are "domain\x1finvariant"; order preserved for snapshot() so the
+  // first drift stays at the top of any report.
+  std::unordered_map<std::string, std::size_t> index MS_GUARDED_BY(mu);
+  std::vector<Violation> tallies MS_GUARDED_BY(mu);
+  ViolationSink sink MS_GUARDED_BY(mu);
 };
 
 Auditor& Auditor::instance() {
@@ -44,7 +46,7 @@ std::uint64_t Auditor::report(const char* domain, const char* invariant,
   Violation delivered;
   ViolationSink sink;
   {
-    std::lock_guard<std::mutex> lock(im.mu);
+    MutexLock lock(im.mu);
     std::string key = std::string(domain) + '\x1f' + invariant;
     auto [it, inserted] = im.index.emplace(std::move(key), im.tallies.size());
     if (inserted) {
@@ -77,20 +79,20 @@ std::uint64_t Auditor::violations() const noexcept {
 std::uint64_t Auditor::violations(const std::string& domain,
                                   const std::string& invariant) const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   auto it = im.index.find(domain + '\x1f' + invariant);
   return it == im.index.end() ? 0 : im.tallies[it->second].count;
 }
 
 std::vector<Violation> Auditor::snapshot() const {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   return im.tallies;
 }
 
 void Auditor::set_sink(ViolationSink sink) {
   Impl& im = impl();
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   im.sink = std::move(sink);
 }
 
@@ -103,7 +105,7 @@ void Auditor::reset() {
   Impl& im = impl();
   im.checks.store(0, std::memory_order_relaxed);
   im.violations.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(im.mu);
+  MutexLock lock(im.mu);
   im.index.clear();
   im.tallies.clear();
 }

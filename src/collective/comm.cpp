@@ -42,7 +42,7 @@ void CollectiveModel::audit_cost(const char* op, Domain domain, int ranks,
   MS_AUDIT("collective.model", "cost_nonnegative", t >= 0,
            std::string(op) + " cost " + std::to_string(t) + "ns for " +
                std::to_string(bytes) + " bytes");
-  std::lock_guard<std::mutex> lock(audit_mu_);
+  MutexLock lock(audit_mu_);
   auto key = std::make_tuple(std::string(op), static_cast<int>(domain), ranks);
   auto it = audit_last_.find(key);
   if (it != audit_last_.end()) {

@@ -10,11 +10,12 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <utility>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "core/time.h"
 #include "core/units.h"
 
@@ -114,9 +115,9 @@ class CollectiveModel {
   telemetry::MetricsRegistry* metrics_ = nullptr;
   // Last (bytes, cost) per (op, domain, ranks) — backing state for
   // audit_cost's cross-call monotonicity invariant.
-  mutable std::mutex audit_mu_;
+  mutable Mutex audit_mu_;
   mutable std::map<std::tuple<std::string, int, int>, std::pair<Bytes, TimeNs>>
-      audit_last_;
+      audit_last_ MS_GUARDED_BY(audit_mu_);
 };
 
 }  // namespace ms::collective

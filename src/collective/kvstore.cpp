@@ -12,7 +12,7 @@ BlockingKvStore::BlockingKvStore(std::chrono::microseconds service_delay)
 
 BlockingKvStore::~BlockingKvStore() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -23,8 +23,8 @@ void BlockingKvStore::worker_loop() {
   for (;;) {
     Request req;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) {
         if (stop_) return;
         continue;
@@ -42,23 +42,25 @@ void BlockingKvStore::worker_loop() {
 }
 
 void BlockingKvStore::submit_and_wait(std::function<void()> fn) {
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  Mutex done_mu;
+  CondVar done_cv;
   bool done = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(Request{[&] {
       fn();
-      {
-        std::lock_guard<std::mutex> dl(done_mu);
-        done = true;
-      }
+      // Notify while holding done_mu: done_cv/done_mu are locals of the
+      // waiting caller and die the moment it observes done==true, so the
+      // notify must complete before the waiter can reacquire the mutex —
+      // notifying after unlock races with the condvar's destruction.
+      MutexLock dl(done_mu);
+      done = true;
       done_cv.notify_one();
     }});
   }
   cv_.notify_one();
-  std::unique_lock<std::mutex> dl(done_mu);
-  done_cv.wait(dl, [&] { return done; });
+  MutexLock dl(done_mu);
+  while (!done) done_cv.wait(done_mu);
 }
 
 void BlockingKvStore::set(const std::string& key, const std::string& value) {
@@ -115,7 +117,7 @@ AsyncKvStore::Shard& AsyncKvStore::shard_for(const std::string& key) {
 void AsyncKvStore::set(const std::string& key, const std::string& value) {
   Shard& s = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.map[key] = value;
   }
   s.cv.notify_all();
@@ -123,7 +125,7 @@ void AsyncKvStore::set(const std::string& key, const std::string& value) {
 
 std::optional<std::string> AsyncKvStore::get(const std::string& key) {
   Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   auto it = s.map.find(key);
   if (it == s.map.end()) return std::nullopt;
   return it->second;
@@ -133,7 +135,7 @@ std::int64_t AsyncKvStore::add(const std::string& key, std::int64_t delta) {
   Shard& s = shard_for(key);
   std::int64_t result = 0;
   {
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     std::int64_t cur = 0;
     auto it = s.map.find(key);
     if (it != s.map.end()) cur = std::stoll(it->second);
@@ -148,12 +150,18 @@ std::int64_t AsyncKvStore::add(const std::string& key, std::int64_t delta) {
 std::optional<std::string> AsyncKvStore::wait(const std::string& key,
                                               std::chrono::milliseconds timeout) {
   Shard& s = shard_for(key);
-  std::unique_lock<std::mutex> lock(s.mu);
-  const bool ok = s.cv.wait_for(lock, timeout, [&] {
-    return s.map.find(key) != s.map.end();
-  });
-  if (!ok) return std::nullopt;
-  return s.map[key];
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(s.mu);
+  for (;;) {
+    auto it = s.map.find(key);
+    if (it != s.map.end()) return it->second;
+    if (s.cv.wait_until(s.mu, deadline) == std::cv_status::timeout) {
+      // One last look: the value may have landed while we timed out.
+      auto last = s.map.find(key);
+      if (last != s.map.end()) return last->second;
+      return std::nullopt;
+    }
+  }
 }
 
 // --------------------------------------------------------------- barrier

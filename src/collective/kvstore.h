@@ -20,16 +20,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace ms::collective {
 
@@ -72,10 +73,10 @@ class BlockingKvStore : public KvStore {
   void submit_and_wait(std::function<void()> fn);
 
   std::chrono::microseconds service_delay_;
-  std::mutex mu_;                  // guards queue_ and stop_
-  std::condition_variable cv_;     // worker wakeup
-  std::deque<Request> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;  // worker wakeup
+  std::deque<Request> queue_ MS_GUARDED_BY(mu_);
+  bool stop_ MS_GUARDED_BY(mu_) = false;
   std::thread worker_;
 
   // Touched only by the worker thread; wait() is client-side polling (each
@@ -97,9 +98,9 @@ class AsyncKvStore : public KvStore {
 
  private:
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<std::string, std::string> map;
+    Mutex mu;
+    CondVar cv;
+    std::unordered_map<std::string, std::string> map MS_GUARDED_BY(mu);
   };
   Shard& shard_for(const std::string& key);
 

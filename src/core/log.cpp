@@ -2,16 +2,18 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace ms {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
-// Guarded by g_mutex: std::function assignment is not atomic, and the
-// provider is only ever read while holding the output lock anyway.
-std::function<TimeNs()> g_timestamp_provider;
+Mutex g_mutex;
+// std::function assignment is not atomic, and the provider is only ever
+// read while holding the output lock anyway.
+std::function<TimeNs()> g_timestamp_provider MS_GUARDED_BY(g_mutex);
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,12 +30,12 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void set_log_timestamp_provider(std::function<TimeNs()> provider) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   g_timestamp_provider = std::move(provider);
 }
 
 void log_message(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::cerr << '[' << level_name(level) << "] ";
   if (g_timestamp_provider) {
     std::cerr << '[' << format_duration(g_timestamp_provider()) << "] ";

@@ -1,0 +1,76 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety).
+//
+// The concurrency discipline in this repo — which mutex guards which state,
+// which functions must (or must not) hold it — is machine-checked, not
+// conventional. Every lock-protected member carries MS_GUARDED_BY, every
+// helper that expects the caller to hold a lock carries MS_REQUIRES, and a
+// clang CI leg compiles src/ with the analysis promoted to errors
+// (MS_THREAD_SAFETY in CMake). Under non-clang compilers the macros expand
+// to nothing, so gcc builds are unaffected.
+//
+// The capability vocabulary follows the Clang documentation and Abseil's
+// thread_annotations.h: a Mutex is a *capability*; locking acquires it,
+// unlocking releases it, and data declared MS_GUARDED_BY(mu) may only be
+// touched while it is held. See core/mutex.h for the annotated Mutex /
+// MutexLock / CondVar wrappers, and DESIGN.md "Concurrency model" for the
+// map of which capability guards what.
+#pragma once
+
+#if defined(__clang__)
+#define MS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MS_THREAD_ANNOTATION__(x)
+#endif
+
+/// Declares a type to be a capability (e.g. `class MS_CAPABILITY("mutex")
+/// Mutex`). The string names the capability kind in diagnostics.
+#define MS_CAPABILITY(x) MS_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases
+/// a capability (MutexLock).
+#define MS_SCOPED_CAPABILITY MS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member may only be read or written while holding `x`.
+#define MS_GUARDED_BY(x) MS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member: the pointed-to data is protected by `x` (the pointer
+/// itself may be read freely).
+#define MS_PT_GUARDED_BY(x) MS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held by the caller.
+#define MS_REQUIRES(...) \
+  MS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function requires the listed capabilities in shared (reader) mode.
+#define MS_REQUIRES_SHARED(...) \
+  MS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define MS_ACQUIRE(...) \
+  MS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define MS_RELEASE(...) \
+  MS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds the capability iff the return
+/// value equals the first argument.
+#define MS_TRY_ACQUIRE(...) \
+  MS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (the function acquires them
+/// itself; calling with them held would deadlock a non-reentrant mutex).
+#define MS_EXCLUDES(...) MS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held and tells the analysis so
+/// (for paths the analysis cannot follow).
+#define MS_ASSERT_CAPABILITY(x) \
+  MS_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define MS_RETURN_CAPABILITY(x) MS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the discipline holds anyway.
+#define MS_NO_THREAD_SAFETY_ANALYSIS \
+  MS_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -9,19 +9,27 @@ ShmBroadcastBuffer::ShmBroadcastBuffer(int consumers, std::size_t slots)
   assert(consumers >= 1 && slots >= 1);
 }
 
+ShmBroadcastBuffer::Slot* ShmBroadcastBuffer::free_slot() {
+  for (auto& s : slots_) {
+    if (s.remaining_readers == 0) return &s;
+  }
+  return nullptr;
+}
+
+ShmBroadcastBuffer::Slot* ShmBroadcastBuffer::slot_of(std::int64_t generation) {
+  for (auto& s : slots_) {
+    if (s.generation == generation && s.remaining_readers > 0) return &s;
+  }
+  return nullptr;
+}
+
 bool ShmBroadcastBuffer::publish(std::vector<std::uint8_t> batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Slot* slot = nullptr;
-  cv_.wait(lock, [&] {
-    if (closed_) return true;
-    for (auto& s : slots_) {
-      if (s.remaining_readers == 0) {
-        slot = &s;
-        return true;
-      }
-    }
-    return false;
-  });
+  MutexLock lock(mu_);
+  Slot* slot = free_slot();
+  while (!closed_ && slot == nullptr) {
+    cv_.wait(mu_);
+    slot = free_slot();
+  }
   if (closed_) return false;
   slot->generation = next_generation_++;
   slot->remaining_readers = consumers_;
@@ -31,18 +39,12 @@ bool ShmBroadcastBuffer::publish(std::vector<std::uint8_t> batch) {
 }
 
 std::vector<std::uint8_t> ShmBroadcastBuffer::fetch(std::int64_t generation) {
-  std::unique_lock<std::mutex> lock(mu_);
-  Slot* slot = nullptr;
-  cv_.wait(lock, [&] {
-    if (closed_ && next_generation_ <= generation) return true;
-    for (auto& s : slots_) {
-      if (s.generation == generation && s.remaining_readers > 0) {
-        slot = &s;
-        return true;
-      }
-    }
-    return false;
-  });
+  MutexLock lock(mu_);
+  Slot* slot = slot_of(generation);
+  while (slot == nullptr && !(closed_ && next_generation_ <= generation)) {
+    cv_.wait(mu_);
+    slot = slot_of(generation);
+  }
   if (slot == nullptr) return {};  // closed before this generation
   std::vector<std::uint8_t> copy = slot->data;
   if (--slot->remaining_readers == 0) {
@@ -54,14 +56,14 @@ std::vector<std::uint8_t> ShmBroadcastBuffer::fetch(std::int64_t generation) {
 
 void ShmBroadcastBuffer::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::int64_t ShmBroadcastBuffer::published() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_generation_;
 }
 

@@ -11,10 +11,11 @@
 // by integration tests and a microbenchmark — not a simulation.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace ms::data {
 
@@ -45,12 +46,16 @@ class ShmBroadcastBuffer {
     std::vector<std::uint8_t> data;
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Slot> slots_;
+  /// Finds a free / matching slot; nullptr when none. Callers hold mu_.
+  Slot* free_slot() MS_REQUIRES(mu_);
+  Slot* slot_of(std::int64_t generation) MS_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<Slot> slots_ MS_GUARDED_BY(mu_);
   int consumers_;
-  std::int64_t next_generation_ = 0;
-  bool closed_ = false;
+  std::int64_t next_generation_ MS_GUARDED_BY(mu_) = 0;
+  bool closed_ MS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ms::data

@@ -15,7 +15,7 @@ FlightRecorder::FlightRecorder(FlightRecorderConfig config)
 void FlightRecorder::record(int node, TimeNs time, std::string kind,
                             std::string detail) {
   if (node < 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto idx = static_cast<std::size_t>(node);
   if (idx >= rings_.size()) rings_.resize(idx + 1);
   Ring& ring = rings_[idx];
@@ -30,7 +30,7 @@ void FlightRecorder::record(int node, TimeNs time, std::string kind,
 }
 
 FlightDump FlightRecorder::trigger(std::string reason, TimeNs now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FlightDump dump;
   dump.reason = std::move(reason);
   dump.time = now;
@@ -46,22 +46,27 @@ FlightDump FlightRecorder::trigger(std::string reason, TimeNs now) {
   return dump;
 }
 
+std::vector<FlightDump> FlightRecorder::dumps() const {
+  MutexLock lock(mu_);
+  return dumps_;
+}
+
 std::uint64_t FlightRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const Ring& ring : rings_) total += ring.written;
   return total;
 }
 
 std::uint64_t FlightRecorder::total_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t dropped = 0;
   for (const Ring& ring : rings_) dropped += ring.written - ring.slots.size();
   return dropped;
 }
 
 void FlightRecorder::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rings_.clear();
   dumps_.clear();
   seq_ = 0;

@@ -12,10 +12,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "core/time.h"
 #include "diag/timeline.h"
 
@@ -53,7 +54,10 @@ class FlightRecorder {
   /// see dumps()). The rings keep recording afterwards.
   FlightDump trigger(std::string reason, TimeNs now);
 
-  const std::vector<FlightDump>& dumps() const { return dumps_; }
+  /// Copy of every dump frozen so far. (Copies under the lock: returning a
+  /// reference to mutex-guarded state would hand out unsynchronized access
+  /// — the thread-safety analysis rejects it.)
+  std::vector<FlightDump> dumps() const;
   std::uint64_t total_recorded() const;
   /// Events discarded because a ring wrapped.
   std::uint64_t total_dropped() const;
@@ -68,10 +72,11 @@ class FlightRecorder {
   };
 
   FlightRecorderConfig config_;
-  mutable std::mutex mu_;
-  std::vector<Ring> rings_;  // index = node id (grown on demand)
-  std::vector<FlightDump> dumps_;
-  std::uint64_t seq_ = 0;
+  mutable Mutex mu_;
+  // index = node id (grown on demand)
+  std::vector<Ring> rings_ MS_GUARDED_BY(mu_);
+  std::vector<FlightDump> dumps_ MS_GUARDED_BY(mu_);
+  std::uint64_t seq_ MS_GUARDED_BY(mu_) = 0;
 };
 
 /// JSONL serialization: a `flight-dump` header line, then one `flight-event`

@@ -54,18 +54,16 @@ double PerformanceHeatmap::machine_score(int machine) const {
 
 std::vector<int> PerformanceHeatmap::outliers(double threshold) const {
   std::vector<int> result;
-  for (const auto& [machine, _] : cells_) {
+  for (const auto& [machine, _] : cells_) {  // ordered map: ascending
     if (machine_score(machine) > 1.0 + threshold) result.push_back(machine);
   }
-  std::sort(result.begin(), result.end());
   return result;
 }
 
 std::string PerformanceHeatmap::ascii(double outlier_threshold) const {
   static const char kShades[] = " .:-=+*#%@";
   std::vector<int> machines;
-  for (const auto& [m, _] : cells_) machines.push_back(m);
-  std::sort(machines.begin(), machines.end());
+  for (const auto& [m, _] : cells_) machines.push_back(m);  // ascending
 
   // Per-phase min/max for shading.
   std::ostringstream out;

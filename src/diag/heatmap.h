@@ -6,8 +6,8 @@
 // that run ~10% slower and gate the whole job.
 #pragma once
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/stats.h"
@@ -37,7 +37,9 @@ class PerformanceHeatmap {
  private:
   double machine_score(int machine) const;  // mean of per-phase normalized
 
-  std::unordered_map<int, std::unordered_map<std::string, RunningStat>> cells_;
+  // Ordered: outliers() and ascii() iterate these and feed reports; keyed
+  // iteration order must not depend on hash layout.
+  std::map<int, std::map<std::string, RunningStat>> cells_;
   std::vector<std::string> phase_order_;
 };
 

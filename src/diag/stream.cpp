@@ -3,24 +3,24 @@
 namespace ms::diag {
 
 void EventStore::ingest(const EventRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   records_.push_back(record);
   agg_[{record.rank, record.segment}].add(to_seconds(record.duration));
 }
 
 std::size_t EventStore::total_events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_.size();
 }
 
 TimeNs EventStore::mean_duration(int rank, const std::string& segment) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = agg_.find({rank, segment});
   return it == agg_.end() ? 0 : seconds(it->second.mean());
 }
 
 std::vector<EventRecord> EventStore::step_records(std::int64_t step) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<EventRecord> result;
   for (const auto& r : records_) {
     if (r.step == step) result.push_back(r);
@@ -36,8 +36,8 @@ EventStreamer::EventStreamer(EventStore& store, std::size_t queue_capacity)
 EventStreamer::~EventStreamer() { close(); }
 
 bool EventStreamer::publish(EventRecord record) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+  MutexLock lock(mu_);
+  while (!closed_ && queue_.size() >= capacity_) cv_.wait(mu_);
   if (closed_) return false;
   queue_.push_back(std::move(record));
   cv_.notify_all();
@@ -46,7 +46,7 @@ bool EventStreamer::publish(EventRecord record) {
 
 void EventStreamer::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) {
       return;
     }
@@ -60,8 +60,8 @@ void EventStreamer::consumer_loop() {
   for (;;) {
     EventRecord record;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!closed_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) {
         if (closed_) return;
         continue;

@@ -10,17 +10,17 @@
 // analytical store with per-rank/per-step aggregation queries.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/stats.h"
+#include "core/thread_annotations.h"
 #include "core/time.h"
 
 namespace ms::diag {
@@ -44,9 +44,9 @@ class EventStore {
   std::vector<EventRecord> step_records(std::int64_t step) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<EventRecord> records_;
-  std::map<std::pair<int, std::string>, RunningStat> agg_;
+  mutable Mutex mu_;
+  std::vector<EventRecord> records_ MS_GUARDED_BY(mu_);
+  std::map<std::pair<int, std::string>, RunningStat> agg_ MS_GUARDED_BY(mu_);
 };
 
 /// Bounded queue + consumer thread shipping records into the store.
@@ -69,10 +69,10 @@ class EventStreamer {
 
   EventStore& store_;
   std::size_t capacity_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<EventRecord> queue_;
-  bool closed_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<EventRecord> queue_ MS_GUARDED_BY(mu_);
+  bool closed_ MS_GUARDED_BY(mu_) = false;
   std::thread consumer_;
 };
 

@@ -14,8 +14,8 @@ TwoStageCheckpointWriter::~TwoStageCheckpointWriter() { close(); }
 
 bool TwoStageCheckpointWriter::snapshot(std::int64_t step,
                                         const std::vector<float>& state) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || staged_.size() < max_staged_; });
+  MutexLock lock(mu_);
+  while (!closed_ && staged_.size() >= max_staged_) cv_.wait(mu_);
   if (closed_) return false;
   Snapshot snap;
   snap.step = step;
@@ -27,14 +27,14 @@ bool TwoStageCheckpointWriter::snapshot(std::int64_t step,
 }
 
 void TwoStageCheckpointWriter::flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::int64_t target = taken_;
-  cv_.wait(lock, [&] { return persisted_ >= target; });
+  while (persisted_ < target) cv_.wait(mu_);
 }
 
 void TwoStageCheckpointWriter::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ && !flusher_.joinable()) return;
     closed_ = true;
   }
@@ -43,12 +43,12 @@ void TwoStageCheckpointWriter::close() {
 }
 
 std::int64_t TwoStageCheckpointWriter::snapshots_taken() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return taken_;
 }
 
 std::int64_t TwoStageCheckpointWriter::snapshots_persisted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return persisted_;
 }
 
@@ -56,8 +56,8 @@ void TwoStageCheckpointWriter::flusher_loop() {
   for (;;) {
     Snapshot snap;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return closed_ || !staged_.empty(); });
+      MutexLock lock(mu_);
+      while (!closed_ && staged_.empty()) cv_.wait(mu_);
       if (staged_.empty()) {
         if (closed_) return;
         continue;
@@ -75,7 +75,7 @@ void TwoStageCheckpointWriter::flusher_loop() {
     }
     sink_(snap);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       staged_.pop_front();
       ++persisted_;
     }

@@ -9,13 +9,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace ms::ft {
 
@@ -60,12 +61,12 @@ class TwoStageCheckpointWriter {
   std::size_t max_staged_;
   std::chrono::microseconds sink_delay_per_mb_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Snapshot> staged_;
-  bool closed_ = false;
-  std::int64_t taken_ = 0;
-  std::int64_t persisted_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Snapshot> staged_ MS_GUARDED_BY(mu_);
+  bool closed_ MS_GUARDED_BY(mu_) = false;
+  std::int64_t taken_ MS_GUARDED_BY(mu_) = 0;
+  std::int64_t persisted_ MS_GUARDED_BY(mu_) = 0;
   std::thread flusher_;
 };
 

@@ -11,9 +11,9 @@
 // manual investigation, exactly as §4.2 describes.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/time.h"
@@ -107,7 +107,10 @@ class AnomalyDetector {
   DetectorConfig cfg_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
   diag::FlightRecorder* flight_ = nullptr;
-  std::unordered_map<int, NodeState> nodes_;
+  // Ordered: check_timeouts() iterates this map, and alarm order feeds
+  // recovery scheduling, flight-recorder sequence numbers and the engine
+  // determinism digests — hash order here was a real nondeterminism bug.
+  std::map<int, NodeState> nodes_;
 };
 
 }  // namespace ms::ft

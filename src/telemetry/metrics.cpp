@@ -50,7 +50,7 @@ MetricsRegistry::Cell& MetricsRegistry::cell(const std::string& name,
                                              MetricKind kind) {
   Labels canon = canonical(labels);
   const std::string key = name + '|' + encode_labels(canon);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     if (it->second->kind != kind) {
@@ -83,7 +83,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.samples.reserve(cells_.size());
   for (const auto& c : cells_) {
@@ -120,7 +120,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& c : cells_) {
     c.counter.reset();
     c.gauge.reset();
@@ -129,7 +129,7 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::series_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cells_.size();
 }
 

@@ -17,13 +17,14 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/stats.h"
+#include "core/thread_annotations.h"
 #include "core/time.h"
 
 namespace ms::telemetry {
@@ -66,21 +67,21 @@ class Gauge {
 class Histogram {
  public:
   void observe(double v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_.add(v);
   }
   HdrHistogram snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return hist_;
   }
   void reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hist_ = HdrHistogram();
   }
 
  private:
-  mutable std::mutex mu_;
-  HdrHistogram hist_;
+  mutable Mutex mu_;
+  HdrHistogram hist_ MS_GUARDED_BY(mu_);
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -131,11 +132,15 @@ class MetricsRegistry {
     Gauge gauge;
     Histogram histogram;
   };
-  Cell& cell(const std::string& name, const Labels& labels, MetricKind kind);
+  Cell& cell(const std::string& name, const Labels& labels, MetricKind kind)
+      MS_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::deque<Cell> cells_;  // stable addresses: handles outlive rehashing
-  std::unordered_map<std::string, Cell*> index_;  // "name|labels" -> cell
+  mutable Mutex mu_;
+  // Stable addresses: handles outlive rehashing. The deque (not the cells
+  // it holds — they are atomics / self-locked) is guarded by mu_.
+  std::deque<Cell> cells_ MS_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Cell*> index_
+      MS_GUARDED_BY(mu_);  // "name|labels" -> cell
 };
 
 }  // namespace ms::telemetry

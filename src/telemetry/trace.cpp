@@ -5,7 +5,7 @@
 namespace ms::telemetry {
 
 void Tracer::set_clock(std::function<TimeNs()> clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   clock_ = std::move(clock);
 }
 
@@ -14,17 +14,17 @@ void Tracer::attach(const sim::Engine& engine) {
 }
 
 TimeNs Tracer::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return clock_ ? clock_() : 0;
 }
 
 void Tracer::record(diag::TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back(std::move(span));
 }
 
 void Tracer::record_clocked(diag::TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!clock_ && !warned_frozen_clock_) {
     warned_frozen_clock_ = true;
     MS_LOG_WARN << "Tracer: span \"" << span.name
@@ -45,12 +45,12 @@ void Tracer::record(int rank, const std::string& name, const std::string& tag,
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::vector<diag::TraceSpan> Tracer::spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
@@ -61,7 +61,7 @@ diag::TimelineTrace Tracer::timeline() const {
 diag::TimelineTrace Tracer::timeline(
     const std::function<bool(const diag::TraceSpan&)>& keep) const {
   diag::TimelineTrace trace;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& s : spans_) {
     if (keep(s)) trace.add(s);
   }
@@ -69,7 +69,7 @@ diag::TimelineTrace Tracer::timeline(
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 

@@ -8,10 +8,11 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "core/time.h"
 #include "diag/timeline.h"
 #include "sim/engine.h"
@@ -56,10 +57,10 @@ class Tracer {
   /// clock — the signature of a forgotten attach(engine)/set_clock().
   void record_clocked(diag::TraceSpan span);
 
-  mutable std::mutex mu_;
-  std::function<TimeNs()> clock_;
-  std::vector<diag::TraceSpan> spans_;
-  bool warned_frozen_clock_ = false;
+  mutable Mutex mu_;
+  std::function<TimeNs()> clock_ MS_GUARDED_BY(mu_);
+  std::vector<diag::TraceSpan> spans_ MS_GUARDED_BY(mu_);
+  bool warned_frozen_clock_ MS_GUARDED_BY(mu_) = false;
 };
 
 /// RAII span: opens at construction time (tracer clock), records on

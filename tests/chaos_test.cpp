@@ -16,6 +16,7 @@
 #include "chaos/schedule.h"
 #include "support/builders.h"
 #include "support/digest.h"
+#include "telemetry/metrics.h"
 #include "support/json.h"
 #include "support/tmpdir.h"
 
@@ -243,6 +244,42 @@ TEST(Campaign, CleanCampaignPasses) {
   EXPECT_EQ(result.passed, 3);
   EXPECT_TRUE(result.failures.empty());
   EXPECT_EQ(result.records.size(), 3u);
+}
+
+TEST(Campaign, ParallelFanOutIsBitIdenticalToSerial) {
+  // The seed fan-out runs workers over per-seed slots; records, digests,
+  // pass counts and failure sets must not depend on the worker count.
+  auto cfg = small_chaos_config();
+  cfg.parallel_seeds = 1;
+  const auto serial = run_campaign(cfg, *find_scenario("mixed"), 4242, 4);
+  cfg.parallel_seeds = 4;
+  const auto parallel = run_campaign(cfg, *find_scenario("mixed"), 4242, 4);
+  EXPECT_EQ(serial.passed, parallel.passed);
+  EXPECT_EQ(serial.failures.size(), parallel.failures.size());
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    EXPECT_EQ(serial.records[i].seed, parallel.records[i].seed) << i;
+    EXPECT_EQ(serial.records[i].record_digest,
+              parallel.records[i].record_digest)
+        << i;
+  }
+}
+
+TEST(Campaign, AttachedSinksForceSerialButKeepResults) {
+  // With a metrics registry attached the fan-out must drop to one thread
+  // (registration order is part of the exported surface) and still count
+  // every run exactly once.
+  telemetry::MetricsRegistry metrics;
+  auto cfg = small_chaos_config();
+  cfg.metrics = &metrics;
+  cfg.parallel_seeds = 4;  // must be ignored while sinks are attached
+  const auto result = run_campaign(cfg, *find_scenario("clean"), 7, 3);
+  EXPECT_EQ(result.passed, 3);
+  const auto snap = metrics.snapshot();
+  const auto* runs = snap.find(
+      "chaos_runs_total", {{"outcome", "pass"}, {"scenario", "clean"}});
+  ASSERT_NE(runs, nullptr);
+  EXPECT_DOUBLE_EQ(runs->value, 3.0);
 }
 
 TEST(Campaign, CanaryShrinksToTheHangAlone) {

@@ -175,7 +175,10 @@ TEST_F(CheckInjection, ViolationSurfacesInTelemetryRegistry) {
   e.at(seconds(1.0), [&] { e.at(0, [] {}); });
   e.run();
   check::Auditor::instance().set_sink(nullptr);
-  const auto* sample = registry.snapshot().find(
+  // Bind the snapshot before find(): a pointer into a temporary snapshot
+  // dangles once the full expression ends.
+  const auto snap = registry.snapshot();
+  const auto* sample = snap.find(
       "audit_violations_total",
       {{"domain", "sim.engine"}, {"invariant", "schedule_not_in_past"}});
   ASSERT_NE(sample, nullptr);

@@ -265,8 +265,9 @@ TEST(FlightRecorder, DriverSimDumpsOnDetectedAnomaly) {
       {minutes(5.0), 2, ft::FaultType::kGpuHang}};
   run_driver_sim(cfg, hours(1.0), faults, rng);
 
-  ASSERT_FALSE(flight.dumps().empty());
-  const auto& dump = flight.dumps().front();
+  const auto dumps = flight.dumps();
+  ASSERT_FALSE(dumps.empty());
+  const auto& dump = dumps.front();
   EXPECT_NE(dump.reason.find("node=2"), std::string::npos) << dump.reason;
   bool saw_fault = false;
   for (const auto& e : dump.events) {

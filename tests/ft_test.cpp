@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "ft/checkpoint.h"
 #include "ft/diagnostics.h"
 #include "ft/faults.h"
@@ -214,6 +216,24 @@ TEST(Monitor, TimeoutDetection) {
   EXPECT_EQ(alarms[0].kind, AlarmKind::kHeartbeatTimeout);
   // No duplicate alarms on the next sweep.
   EXPECT_TRUE(det.check_timeouts(seconds(60.0)).empty());
+}
+
+TEST(Monitor, SimultaneousTimeoutsAlarmInAscendingNodeOrder) {
+  // Regression pin for a real nondeterminism bug: node state used to live
+  // in an unordered_map, so one sweep timing out several nodes emitted
+  // alarms in hash order — and alarm order feeds recovery scheduling,
+  // flight-recorder sequence numbers and the driver-sim engine digest.
+  // The ordered node map makes the sweep emit ascending node ids, always.
+  AnomalyDetector det(detector_config());
+  for (int node : {11, 3, 29, 7, 0, 17, 23, 5}) det.track(node, 0);
+  const auto alarms = det.check_timeouts(seconds(60.0));
+  ASSERT_EQ(alarms.size(), 8u);
+  std::vector<int> order;
+  for (const auto& alarm : alarms) {
+    EXPECT_EQ(alarm.kind, AlarmKind::kHeartbeatTimeout);
+    order.push_back(alarm.node);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 5, 7, 11, 17, 23, 29}));
 }
 
 TEST(Monitor, HeartbeatExactlyAtTimeoutBoundaryDoesNotAlarm) {

@@ -1,0 +1,28 @@
+// Fixture: ambient entropy outside the designated homes.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  return rand() % 6;  // fires ambient-entropy
+}
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // fires ambient-entropy
+}
+
+long long wall_ns() {
+  using clock = std::chrono::system_clock;  // fires ambient-entropy
+  return clock::now().time_since_epoch().count();
+}
+
+unsigned hardware_seed() {
+  // ms-lint: allow(ambient-entropy): fixture — waiver honored, no finding
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fixture

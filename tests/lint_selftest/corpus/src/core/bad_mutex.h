@@ -1,0 +1,20 @@
+// Fixture: raw std primitives invisible to thread-safety analysis.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mu_);  // fires mutex-annotated
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;  // fires mutex-annotated
+  int n_ = 0;
+};
+
+}  // namespace fixture

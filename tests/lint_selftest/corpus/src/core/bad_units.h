@@ -1,0 +1,16 @@
+// Fixture: unit-literal and raw-seconds violations plus honored waivers.
+#pragma once
+
+namespace fixture {
+
+constexpr double kNsPerSec = 1e9;  // fires unit-literal
+
+struct Config {
+  double timeout_s = 0;  // fires raw-seconds
+  // ms-lint: allow(raw-seconds): fixture — waiver honored, no finding
+  double delay_seconds = 0;
+  // ms-lint: allow(unit-literal):
+  double scale = 1.0;  // the bare waiver above fires [waiver] itself
+};
+
+}  // namespace fixture

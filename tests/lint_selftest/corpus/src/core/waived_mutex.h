@@ -1,0 +1,13 @@
+// Fixture: whole-file waiver honored — zero findings expected here.
+// ms-lint: allow-file(mutex-annotated): fixture — designated raw home
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+struct RawHome {
+  std::mutex mu;
+};
+
+}  // namespace fixture

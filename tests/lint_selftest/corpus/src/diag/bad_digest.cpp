@@ -1,0 +1,19 @@
+// Fixture: hash-order iteration in a digest emitter (ordered-digest).
+#include "diag/bad_digest.h"
+
+namespace fixture {
+
+void StepDigest::bump(int rank) { ++per_rank_[rank]; }
+
+std::uint64_t StepDigest::digest() const {
+  std::uint64_t d = 14695981039346656037ull;
+  for (const auto& [rank, count] : per_rank_) {  // fires ordered-digest
+    d = (d ^ static_cast<std::uint64_t>(rank)) * 1099511628211ull;
+    d = (d ^ count) * 1099511628211ull;
+  }
+  // ms-lint: allow(ordered-digest): fixture — waiver honored, no finding
+  for (const auto& [rank, count] : per_rank_) d += count + rank;
+  return d;
+}
+
+}  // namespace fixture

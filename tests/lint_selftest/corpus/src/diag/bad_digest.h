@@ -1,0 +1,18 @@
+// Fixture: unordered container declaration feeding a digest emitter.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class StepDigest {
+ public:
+  void bump(int rank);
+  std::uint64_t digest() const;
+
+ private:
+  std::unordered_map<int, std::uint64_t> per_rank_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: include-guarded header (fires the once-pragma rule at line 1).
+#ifndef FIXTURE_UTIL_NO_PRAGMA_H_
+#define FIXTURE_UTIL_NO_PRAGMA_H_
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif  // FIXTURE_UTIL_NO_PRAGMA_H_

@@ -1,0 +1,6 @@
+// Fixture: translation unit no test references (fires test-coverage).
+namespace fixture {
+
+int orphan() { return 7; }
+
+}  // namespace fixture

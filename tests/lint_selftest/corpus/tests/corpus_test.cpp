@@ -1,0 +1,6 @@
+// Fixture test tree: gives bad_digest.cpp coverage via its header include
+// and bad_entropy.cpp coverage via a stem mention; the orphan fixture in
+// util/ is deliberately never referenced here so test-coverage fires on it.
+#include "diag/bad_digest.h"
+
+// bad_entropy is exercised elsewhere in the fixture narrative.

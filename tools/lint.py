@@ -25,6 +25,29 @@ test-coverage  Every .cpp under src/ must be referenced from tests/ —
 
 pragma-once    Every header under src/ uses #pragma once.
 
+ordered-digest Digest/report-emitting files (anything whose text mentions
+               digests, JSONL or to_json) may not range-iterate unordered
+               containers: iteration order is hash-layout-dependent, which
+               is exactly how bit-identical determinism digests silently
+               break between runs, platforms and libstdc++ versions.
+
+ambient-entropy rand()/srand(), std::random_device, time(nullptr) and
+               system_clock are banned outside the designated homes
+               (core/rng.*, core/time.*). All randomness routes through
+               derive_seed() substreams; all simulated time through TimeNs.
+
+mutex-annotated Raw std::mutex/std::condition_variable/lock_guard etc. are
+               banned outside core/mutex.h. Clang thread-safety analysis
+               cannot see through unannotated std primitives; ms::Mutex /
+               MutexLock / CondVar are the annotated capabilities.
+
+Self-test
+---------
+    python3 tools/lint.py --root <corpus> --expect <expected.txt>
+runs the linter over a fixture tree and exits 0 only when the findings
+(`path:line: [rule]`, message dropped) exactly match the expected file
+(one finding per line; blank lines and # comments ignored).
+
 Waivers
 -------
 Inline, same line or the line above the offender:
@@ -46,10 +69,28 @@ RULES = {
     "raw-seconds": "no `double *_s` / `double *_seconds` in public headers; use TimeNs",
     "test-coverage": "every src/**/*.cpp is referenced by a test",
     "pragma-once": "every header under src/ uses #pragma once",
+    "ordered-digest":
+        "digest/report-emitting files may not range-iterate unordered containers",
+    "ambient-entropy":
+        "no rand()/random_device/time(nullptr)/system_clock outside core/rng.*,"
+        " core/time.*",
+    "mutex-annotated":
+        "no raw std::mutex/condition_variable/lock_guard outside core/mutex.h;"
+        " use ms::Mutex/MutexLock/CondVar",
 }
 
 UNIT_LITERAL_RE = re.compile(r"(?<![\w.])1e\+?(?:3|6|9|12|15)\b")
 RAW_SECONDS_RE = re.compile(r"\bdouble\s+(\w+(?:_s|_sec|_seconds))\b")
+# Marks a file as digest/report-emitting for the ordered-digest rule.
+DIGEST_FILE_RE = re.compile(r"digest|jsonl|to_json", re.IGNORECASE)
+UNORDERED_DECL_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
+AMBIENT_ENTROPY_RE = re.compile(
+    r"\brandom_device\b|\bsystem_clock\b|(?<![\w:.>])s?rand\s*\(|"
+    r"(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock)\b")
 ALLOW_RE = re.compile(r"ms-lint:\s*allow\((?P<rule>[\w-]+)\)\s*:\s*\S")
 ALLOW_FILE_RE = re.compile(r"ms-lint:\s*allow-file\((?P<rule>[\w-]+)\)\s*:\s*\S")
 BARE_WAIVER_RE = re.compile(r"ms-lint:\s*allow(?:-file)?\([\w-]+\)\s*:?\s*$")
@@ -60,6 +101,13 @@ BARE_WAIVER_RE = re.compile(r"ms-lint:\s*allow(?:-file)?\([\w-]+\)\s*:?\s*$")
 EXEMPT = {
     "unit-literal": {"src/core/units.h", "src/core/time.h"},
     "raw-seconds": {"src/core/time.h", "src/core/units.h"},
+    # rng.* is where seeds become streams; time.* owns the one wall-clock
+    # boundary. Everything else derives.
+    "ambient-entropy": {"src/core/rng.h", "src/core/rng.cpp",
+                        "src/core/time.h", "src/core/time.cpp"},
+    # The annotated wrapper home: the std::mutex inside ms::Mutex IS the
+    # wrapped capability.
+    "mutex-annotated": {"src/core/mutex.h"},
 }
 
 
@@ -95,6 +143,36 @@ class Linter:
             if m and m.group("rule") == rule:
                 return True
         return False
+
+    @staticmethod
+    def unordered_names(text: str) -> set[str]:
+        """Identifiers declared as std::unordered_* containers.
+
+        Balances template angle brackets (declarations may nest and span
+        lines), then takes the first identifier after the closing `>`.
+        Aliases (`using X = std::unordered_map<...>;`) yield no name; the
+        rule is a heuristic, not a type checker.
+        """
+        names: set[str] = set()
+        for m in UNORDERED_DECL_RE.finditer(text):
+            i = m.end() - 1  # at the opening '<'
+            depth = 0
+            while i < len(text):
+                if text[i] == "<":
+                    depth += 1
+                elif text[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)", text[i + 1:i + 200])
+            if dm:
+                names.add(dm.group(1))
+        return names
+
+    @staticmethod
+    def sibling(path: pathlib.Path) -> pathlib.Path:
+        return path.with_suffix(".h" if path.suffix == ".cpp" else ".cpp")
 
     # ------------------------------------------------------------ rules
 
@@ -132,6 +210,53 @@ class Linter:
                             f"`double {m.group(1)}` in a public header; "
                             "simulated time crosses APIs as TimeNs")
 
+                rule = "ambient-entropy"
+                if (rel not in EXEMPT[rule] and rule not in waived_file
+                        and AMBIENT_ENTROPY_RE.search(code)
+                        and not self.line_waived(lines, idx, rule)):
+                    self.report(
+                        path, idx + 1, rule,
+                        f"ambient entropy `{AMBIENT_ENTROPY_RE.search(code).group().strip()}`;"
+                        " randomness routes through derive_seed() substreams"
+                        " (core/rng.h), wall time through core/time.h")
+
+                rule = "mutex-annotated"
+                if (rel not in EXEMPT[rule] and rule not in waived_file
+                        and RAW_MUTEX_RE.search(code)
+                        and not self.line_waived(lines, idx, rule)):
+                    self.report(
+                        path, idx + 1, rule,
+                        f"raw `{RAW_MUTEX_RE.search(code).group()}`; clang"
+                        " thread-safety analysis cannot see std primitives —"
+                        " use ms::Mutex/MutexLock/CondVar (core/mutex.h)")
+
+    def check_ordered_digest(self):
+        rule = "ordered-digest"
+        for path in self.src_files((".h", ".cpp")):
+            text = path.read_text()
+            if not DIGEST_FILE_RE.search(text):
+                continue
+            lines = text.splitlines()
+            if rule in self.file_waivers(lines):
+                continue
+            names = self.unordered_names(text)
+            sib = self.sibling(path)
+            if sib.is_file():
+                names |= self.unordered_names(sib.read_text())
+            if not names:
+                continue
+            for idx, line in enumerate(lines):
+                code = line.split("//", 1)[0]
+                m = RANGE_FOR_RE.search(code)
+                if (m and m.group(1) in names
+                        and not self.line_waived(lines, idx, rule)):
+                    self.report(
+                        path, idx + 1, rule,
+                        f"range-for over unordered container `{m.group(1)}` in"
+                        " a digest/report-emitting file; iteration order is"
+                        " hash-layout-dependent — use an ordered container or"
+                        " sort first")
+
     def check_pragma_once(self):
         for path in self.src_files((".h",)):
             text = path.read_text()
@@ -140,6 +265,8 @@ class Linter:
 
     def check_test_coverage(self):
         tests_dir = self.root / "tests"
+        if not tests_dir.is_dir():  # fixture corpora may omit tests/
+            return
         corpus = "\n".join(
             p.read_text() for p in sorted(tests_dir.rglob("*.cpp")))
         for path in self.src_files((".cpp",)):
@@ -162,6 +289,7 @@ class Linter:
 
     def run(self) -> int:
         self.check_line_rules()
+        self.check_ordered_digest()
         self.check_pragma_once()
         self.check_test_coverage()
         for path, line_no, rule, msg in self.violations:
@@ -173,6 +301,30 @@ class Linter:
               if n else "lint: clean")
         return 1 if n else 0
 
+    def run_expect(self, expected_path: pathlib.Path) -> int:
+        """Self-test mode: findings must exactly match `expected_path`."""
+        self.check_line_rules()
+        self.check_ordered_digest()
+        self.check_pragma_once()
+        self.check_test_coverage()
+        got = sorted(
+            f"{path.relative_to(self.root).as_posix()}:{line_no}: [{rule}]"
+            for path, line_no, rule, _ in self.violations)
+        want = sorted(
+            line.strip() for line in expected_path.read_text().splitlines()
+            if line.strip() and not line.lstrip().startswith("#"))
+        if got == want:
+            print(f"lint-selftest: {len(got)} findings match expected")
+            return 0
+        for line in sorted(set(want) - set(got)):
+            print(f"lint-selftest: MISSING  {line}")
+        for line in sorted(set(got) - set(want)):
+            print(f"lint-selftest: UNEXPECTED  {line}")
+        # Exact multiset match: duplicates matter too.
+        if set(got) == set(want):
+            print("lint-selftest: duplicate-count mismatch")
+        return 1
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -180,12 +332,18 @@ def main() -> int:
     parser.add_argument("--root", type=pathlib.Path, default=default_root,
                         help="repository root (default: tools/..)")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--expect", type=pathlib.Path, default=None,
+                        help="self-test: findings must exactly match this file"
+                             " (path:line: [rule] per line)")
     args = parser.parse_args()
     if args.list_rules:
         for rule, desc in RULES.items():
             print(f"{rule}: {desc}")
         return 0
-    return Linter(args.root.resolve()).run()
+    linter = Linter(args.root.resolve())
+    if args.expect is not None:
+        return linter.run_expect(args.expect.resolve())
+    return linter.run()
 
 
 if __name__ == "__main__":

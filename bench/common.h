@@ -13,8 +13,7 @@
 #include "core/json.h"
 #include "engine/job.h"
 #include "engine/perturb.h"
-#include "net/ecmp.h"
-#include "net/topology.h"
+#include "plan/planner.h"
 
 namespace ms::bench {
 
@@ -118,30 +117,11 @@ class BenchReport {
 /// permutation traffic is routed, and the mean attained throughput fraction
 /// becomes the collective model's bandwidth derating. Larger jobs span more
 /// pods, ascend more tiers and collide more — the §3.6/§6.1 scale effect.
+/// The derivation lives with the plan auto-tuner (plan/planner.h) so
+/// `msplan --net-eff auto` and the Table 2 benches price the fabric
+/// identically.
 inline double network_efficiency_for(int gpus) {
-  static std::map<int, double> cache;
-  auto it = cache.find(gpus);
-  if (it != cache.end()) return it->second;
-
-  net::ClosParams p;
-  p.hosts = std::max(16, gpus / 8);
-  p.nics_per_host = 8;
-  p.hosts_per_tor = 64;
-  p.pods = std::max(1, p.hosts / 256);
-  p.aggs_per_pod = 8;
-  p.spines_per_plane = 8;
-  net::ClosTopology topo(p);
-
-  double total = 0;
-  constexpr int kTrials = 3;
-  for (int t = 0; t < kTrials; ++t) {
-    Rng rng(0xEC3Fu + static_cast<std::uint64_t>(t));
-    auto flows = net::permutation_traffic(topo, rng);
-    total += net::analyze_ecmp(topo, flows).mean_throughput_frac;
-  }
-  const double eff = total / kTrials;
-  cache[gpus] = eff;
-  return eff;
+  return plan::fabric_network_efficiency(gpus);
 }
 
 /// Megatron-LM baseline: serial transformer block, full attention, naive

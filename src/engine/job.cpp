@@ -63,6 +63,28 @@ std::string validate(const JobConfig& cfg) {
   return "";
 }
 
+std::string describe(const JobConfig& cfg) {
+  std::string out = cfg.model.name;
+  out += " gpus=" + std::to_string(cfg.gpus());
+  out += " tp=" + std::to_string(cfg.par.tp);
+  out += " pp=" + std::to_string(cfg.par.pp);
+  out += " dp=" + std::to_string(cfg.par.dp);
+  out += " vpp=" + std::to_string(cfg.par.vpp);
+  out += " batch=" + std::to_string(cfg.global_batch);
+  out += " m=" + std::to_string(cfg.microbatches_per_replica());
+  const bool megascale = cfg.overlap.tp_overlap && cfg.overlap.pp_decouple &&
+                         cfg.overlap.dp_overlap &&
+                         cfg.overlap.async_data_pipeline;
+  const bool megatron = !cfg.overlap.tp_overlap && !cfg.overlap.pp_decouple &&
+                        !cfg.overlap.dp_overlap &&
+                        !cfg.overlap.async_data_pipeline;
+  out += std::string(" overlap=") +
+         (megascale ? "megascale" : (megatron ? "megatron-lm" : "custom"));
+  if (cfg.schedule == PipelineSchedule::kGpipe) out += " schedule=gpipe";
+  if (cfg.full_recompute) out += " recompute=full";
+  return out;
+}
+
 IterationResult simulate_iteration(const JobConfig& cfg) {
   const std::string err = validate(cfg);
   assert(err.empty() && "invalid JobConfig");

@@ -136,6 +136,11 @@ struct IterationResult {
 /// empty string.
 std::string validate(const JobConfig& cfg);
 
+/// One-line summary of a configuration ("175B gpus=3072 tp=8 pp=8 dp=48
+/// vpp=6 batch=6144 m=128 overlap=megascale") — the planner and CLIs print
+/// winning JobConfigs through this so descriptions stay uniform.
+std::string describe(const JobConfig& cfg);
+
 /// Simulates one steady-state training iteration.
 IterationResult simulate_iteration(const JobConfig& cfg);
 

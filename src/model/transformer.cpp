@@ -40,6 +40,24 @@ ModelConfig config_13b() {
   return cfg;
 }
 
+bool config_by_name(const std::string& name, ModelConfig& out) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    key += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  if (key == "175b") {
+    out = config_175b();
+  } else if (key == "530b") {
+    out = config_530b();
+  } else if (key == "13b") {
+    out = config_13b();
+  } else {
+    return false;
+  }
+  return true;
+}
+
 double params_count(const ModelConfig& cfg) {
   const double h = cfg.hidden;
   const double f = cfg.ffn_hidden;

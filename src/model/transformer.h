@@ -53,6 +53,10 @@ ModelConfig config_530b();
 /// The 13B model used for the convergence microbenchmarks (§6.2).
 ModelConfig config_13b();
 
+/// Preset lookup for CLIs ("175b", "530b", "13b"; case-insensitive).
+/// Returns false and leaves `out` untouched for unknown names.
+bool config_by_name(const std::string& name, ModelConfig& out);
+
 /// Total trainable parameters.
 double params_count(const ModelConfig& cfg);
 

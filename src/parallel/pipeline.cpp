@@ -95,6 +95,11 @@ int peak_inflight_microbatches(const std::vector<ScheduleEntry>& schedule) {
   return peak;
 }
 
+int peak_inflight_microbatches(int pp, int stage, int vpp, int microbatches) {
+  return peak_inflight_microbatches(
+      schedule_for_stage(pp, stage, vpp, microbatches));
+}
+
 double analytic_bubble_fraction(int pp, int vpp, int microbatches) {
   assert(pp >= 1 && vpp >= 1 && microbatches >= 1);
   return static_cast<double>(pp - 1) /

@@ -39,6 +39,12 @@ std::vector<ScheduleEntry> gpipe_schedule_for_stage(int pp, int stage,
 /// (a forward allocates, the matching backward frees).
 int peak_inflight_microbatches(const std::vector<ScheduleEntry>& schedule);
 
+/// Convenience overload for capacity queries (the plan searcher's memory
+/// constraint): builds the interleaved 1F1B schedule for `stage` and
+/// reports its peak. Stage 0 carries the deepest warm-up, so
+/// peak_inflight_microbatches(pp, 0, vpp, m) bounds every stage.
+int peak_inflight_microbatches(int pp, int stage, int vpp, int microbatches);
+
 /// Number of warm-up forward passes before the 1F1B steady phase.
 int warmup_slots(int pp, int stage, int vpp, int microbatches);
 

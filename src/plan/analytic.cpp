@@ -1,0 +1,139 @@
+#include "plan/analytic.h"
+
+#include <algorithm>
+
+#include "collective/comm.h"
+#include "model/ops.h"
+#include "parallel/overlap.h"
+#include "parallel/pipeline.h"
+#include "parallel/zero.h"
+
+namespace ms::plan {
+
+AnalyticCost analytic_cost(const PlanSpec& spec, const PlanCandidate& cand) {
+  const auto& par = cand.par;
+  const int pp = par.pp;
+  const int vpp = par.vpp;
+  const int m = cand.microbatches(spec);
+  const int layers_per_chunk = spec.model.layers / (pp * vpp);
+  const std::int64_t micro_tokens = spec.model.seq_len;
+  const std::int64_t elem_tokens =
+      par.sequence_parallel ? micro_tokens / par.tp : micro_tokens;
+
+  const model::OpCostModel cost(spec.model, spec.ops, spec.cluster.gpu);
+  const collective::CollectiveModel coll(spec.cluster,
+                                         spec.network_efficiency);
+  const parallel::Zero2Sharding zero(model::params_count(spec.model), par);
+
+  AnalyticCost out;
+
+  // ---- per-layer TP/SP communication, folded exactly as the engine does.
+  const Bytes act_bytes = micro_tokens * spec.model.hidden * 2;
+  const int tp_comms_per_layer = spec.model.parallel_block ? 1 : 2;
+  TimeNs tp_comm_layer = 0;
+  if (par.tp > 1) {
+    tp_comm_layer =
+        tp_comms_per_layer *
+        (coll.all_gather(act_bytes, par.tp, collective::Domain::kIntraNode) +
+         coll.reduce_scatter(act_bytes, par.tp,
+                             collective::Domain::kIntraNode));
+  }
+  const TimeNs fwd_layer = cost.fwd_layer(micro_tokens, elem_tokens, par.tp);
+  const TimeNs bwd_layer = cost.bwd_layer(micro_tokens, elem_tokens, par.tp);
+
+  TimeNs tp_exposed_layer = tp_comm_layer;
+  auto fold_tp = [&](TimeNs compute) -> TimeNs {
+    if (tp_comm_layer == 0) return compute;
+    if (spec.overlap.tp_overlap) {
+      const auto r = parallel::chunked_overlap(
+          compute, tp_comm_layer, spec.overlap.tp_overlap_chunks);
+      tp_exposed_layer = r.exposed_comm;
+      return r.total;
+    }
+    return compute + tp_comm_layer;
+  };
+  TimeNs chunk_fwd = layers_per_chunk * fold_tp(fwd_layer);
+  const TimeNs fwd_tp_exposed = layers_per_chunk * tp_exposed_layer;
+  TimeNs chunk_bwd = layers_per_chunk * fold_tp(bwd_layer);
+  const TimeNs bwd_tp_exposed = layers_per_chunk * tp_exposed_layer;
+  if (cand.full_recompute) chunk_bwd += chunk_fwd;
+  const TimeNs logits = cost.fwd_logits(micro_tokens, par.tp);
+
+  // ---- p2p wire time between adjacent stages (inter-node; PP is the
+  // outermost dimension of the rank mapping, so every hop crosses hosts).
+  const Bytes p2p_bytes =
+      par.sequence_parallel ? act_bytes / par.tp : act_bytes;
+  const TimeNs p2p =
+      pp > 1 ? coll.send_recv(p2p_bytes, collective::Domain::kInterNode) : 0;
+
+  // ---- bottleneck slot time: the last stage carries the logits head; when
+  // send/recv block the compute stream (no PP decoupling) every chunk pass
+  // pays the wire time on its critical path too.
+  TimeNs slot = vpp * (chunk_fwd + chunk_bwd) + 3 * logits;
+  TimeNs pp_exposed = 0;
+  if (pp > 1 && !spec.overlap.pp_decouple) {
+    // Interior stages: recv + send per chunk pass, forward and backward.
+    pp_exposed = static_cast<TimeNs>(4 * vpp) * p2p;
+    slot += pp_exposed;
+  }
+
+  // ---- pipeline body: m slots + the (pp-1)/vpp warm-up/cool-down bubble
+  // plus the transfer ramp (each warm-up hop pays one wire delay even when
+  // transfers are decoupled onto their own streams).
+  const double bubble_slots = static_cast<double>(pp - 1) / vpp;
+  out.bubble = static_cast<TimeNs>(bubble_slots * static_cast<double>(slot));
+  out.body = static_cast<TimeNs>(m) * slot + out.bubble +
+             static_cast<TimeNs>(pp - 1) * p2p;
+  out.bubble_fraction = parallel::analytic_bubble_fraction(pp, vpp, m);
+  out.tp_exposed =
+      static_cast<TimeNs>(m) *
+      static_cast<TimeNs>(vpp) * (fwd_tp_exposed + bwd_tp_exposed);
+  out.pp_exposed = static_cast<TimeNs>(m) * pp_exposed +
+                   static_cast<TimeNs>(pp - 1) * p2p;
+
+  // ---- ZeRO DP collectives (§2 Figure 1), mirrored from the engine.
+  TimeNs dp_ag_chunk = 0, dp_rs_chunk = 0;
+  if (par.dp > 1) {
+    dp_ag_chunk = coll.all_gather(zero.allgather_bytes_per_chunk(), par.dp,
+                                  collective::Domain::kInterNode);
+    dp_rs_chunk = coll.reduce_scatter(zero.reducescatter_bytes_per_chunk(),
+                                      par.dp, collective::Domain::kInterNode);
+    if (par.zero_stage <= 1) {
+      dp_rs_chunk = coll.all_reduce(zero.reducescatter_bytes_per_chunk(),
+                                    par.dp, collective::Domain::kInterNode);
+    } else if (par.zero_stage >= 3) {
+      dp_ag_chunk *= 2;
+    }
+  }
+  out.data = spec.overlap.async_data_pipeline ? 0 : spec.data_pipeline_time;
+  if (par.dp > 1) {
+    if (spec.overlap.dp_overlap) {
+      // Chunk-wise prefetch: the highest-priority all-gather runs under the
+      // data op; only its overhang delays the first forward. The last
+      // chunk's reduce-scatter is exposed before the optimizer. Whatever
+      // the compute span cannot absorb — the dp stream serializes all
+      // vpp gathers and scatters — spills out as exposed time too.
+      const TimeNs dp_total =
+          static_cast<TimeNs>(vpp) * (dp_ag_chunk + dp_rs_chunk);
+      out.dp_exposed = std::max<TimeNs>(0, dp_ag_chunk - out.data) +
+                       dp_rs_chunk +
+                       std::max<TimeNs>(0, dp_total - out.body);
+    } else {
+      // Bucketed at the iteration edges: fully exposed both ways.
+      out.dp_exposed = static_cast<TimeNs>(vpp) * (dp_ag_chunk + dp_rs_chunk);
+    }
+  }
+
+  out.optimizer = cost.optimizer_step(zero.optimizer_shard_params());
+  out.step = out.data + out.body + out.dp_exposed + out.optimizer;
+
+  const double step_s = to_seconds(out.step);
+  const double tokens_per_second =
+      static_cast<double>(spec.global_batch) * spec.model.seq_len / step_s;
+  out.mfu = model::mfu(spec.model, tokens_per_second, spec.gpus,
+                       spec.cluster.gpu.peak_flops);
+  out.memory_bytes = candidate_memory(spec, cand).total();
+  return out;
+}
+
+}  // namespace ms::plan

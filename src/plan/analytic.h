@@ -1,0 +1,47 @@
+// Closed-form step-time model for plan ranking (Megatron-LM-style pruning).
+//
+// The planner cannot afford a discrete-event simulation per candidate — at
+// 12,288 GPUs the divisibility-valid space runs to hundreds of layouts, and
+// property tests sweep whole families of specs. This model prices one
+// candidate with pure arithmetic, mirroring the engine's own construction
+// term by term so the estimate tracks the simulator instead of a separate
+// theory:
+//
+//   body   = m * T + (pp-1)/vpp * T + (pp-1) * t_p2p     (pipeline + bubble)
+//   T      = slot time of the bottleneck stage: its vpp chunks of
+//            fwd+bwd compute with per-layer TP all-gather/reduce-scatter
+//            folded (chunked-overlap bound when TP fusion is on), plus the
+//            logits head on the last stage, plus the blocking send/recv
+//            wire time when PP overlap is off
+//   step   = data + dp_head + body + dp_tail + optimizer
+//
+// where dp_head/dp_tail are the exposed halves of the ZeRO-2 parameter
+// all-gather / gradient reduce-scatter (fully exposed when DP overlap is
+// off; first-gather/last-scatter edges when it is on). The α–β collective
+// model prices every term, so analytic and simulated rankings share one
+// cost vocabulary. Cross-validated against the engine in crossval_test
+// (tolerance band) and plan_property_test (pruner admissibility).
+#pragma once
+
+#include "core/time.h"
+#include "plan/space.h"
+
+namespace ms::plan {
+
+struct AnalyticCost {
+  TimeNs step = 0;        ///< estimated iteration time
+  TimeNs body = 0;        ///< pipeline region incl. bubble and ramp
+  TimeNs bubble = 0;      ///< (pp-1)/vpp slots of the bottleneck stage
+  TimeNs tp_exposed = 0;  ///< per-step TP comm not hidden by GEMM chunks
+  TimeNs pp_exposed = 0;  ///< p2p wire time on the critical path
+  TimeNs dp_exposed = 0;  ///< ZeRO collectives outside the compute span
+  TimeNs optimizer = 0;
+  TimeNs data = 0;        ///< exposed data-pipeline time at the step head
+  double bubble_fraction = 0;  ///< (pp-1)/(vpp*m)
+  double mfu = 0;              ///< implied by `step`
+  double memory_bytes = 0;     ///< peak per-GPU working set
+};
+
+AnalyticCost analytic_cost(const PlanSpec& spec, const PlanCandidate& cand);
+
+}  // namespace ms::plan

@@ -1,0 +1,38 @@
+// `msplan` — the parallelism-plan auto-tuner CLI (answers "best plan for
+// model M on cluster C").
+//
+//   msplan --model 175b --gpus 12288 --batch 6144
+//       enumerate the (TP x PP x DP x vpp x recompute) space, rank with the
+//       analytic model, DES-validate the top-K, print the ranked table and
+//       the winning JobConfig
+//   msplan --model 175b --gpus 3072 --batch 6144 --json plans.jsonl
+//       additionally write the full ranked report (header + one candidate
+//       per line, deterministic digest) for tooling/CI
+//
+// Flags: --top-k K        analytic finalists to simulate (default 8)
+//        --top N          table rows to print (default 10; 0 = all)
+//        --net-eff X|auto fabric efficiency (default auto: derived from the
+//                         CLOS/ECMP analysis at the given GPU count)
+//        --baseline       Megatron-LM operators + no MegaScale overlap
+//        --schedule 1f1b|gpipe
+//        --recompute-search  include full-recomputation variants
+//        --no-sim         analytic ranking only (no DES validation)
+//
+// Like msdiag, the entry point takes argv-style strings and writes to
+// caller-supplied streams so tests drive it exactly like the shell does.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ms::plan {
+
+/// Runs one msplan invocation. Returns a process exit code: 0 on success,
+/// 1 on usage errors or an infeasible search space.
+int msplan_main(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+std::string msplan_usage();
+
+}  // namespace ms::plan

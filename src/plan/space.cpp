@@ -1,0 +1,103 @@
+#include "plan/space.h"
+
+#include <algorithm>
+
+#include "parallel/pipeline.h"
+
+namespace ms::plan {
+
+namespace {
+
+bool divisibility_valid(const PlanSpec& spec, int tp, int pp, int dp,
+                        int vpp) {
+  if (tp * pp * dp != spec.gpus) return false;
+  if (spec.global_batch % dp != 0) return false;
+  if (spec.model.layers % (pp * vpp) != 0) return false;
+  if (pp == 1 && vpp != 1) return false;
+  if (spec.schedule == engine::PipelineSchedule::kGpipe && vpp != 1) {
+    return false;
+  }
+  const int m = spec.global_batch / dp;
+  if (vpp > 1 && m % pp != 0) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<PlanCandidate> enumerate_space(const PlanSpec& spec) {
+  std::vector<PlanCandidate> out;
+  const int node = spec.cluster.gpus_per_node;
+  for (int tp = 1; tp <= node && tp <= spec.gpus; ++tp) {
+    // TP stays inside one NVLink domain (the repo's topology mapping):
+    // it must tile the node exactly so no TP group straddles machines.
+    if (node % tp != 0 || spec.gpus % tp != 0) continue;
+    const int rest = spec.gpus / tp;
+    for (int pp = 1; pp <= rest && pp <= spec.model.layers; ++pp) {
+      if (rest % pp != 0 || spec.model.layers % pp != 0) continue;
+      const int dp = rest / pp;
+      const int chunk_limit = spec.model.layers / pp;
+      for (int vpp = 1; vpp <= std::min(spec.max_vpp, chunk_limit); ++vpp) {
+        if (!divisibility_valid(spec, tp, pp, dp, vpp)) continue;
+        parallel::ParallelConfig par;
+        par.tp = tp;
+        par.pp = pp;
+        par.dp = dp;
+        par.vpp = vpp;
+        out.push_back({par, false});
+        if (spec.search_recompute) out.push_back({par, true});
+      }
+    }
+  }
+  return out;
+}
+
+int peak_inflight(const PlanSpec& spec, const PlanCandidate& cand) {
+  const int m = cand.microbatches(spec);
+  if (spec.schedule == engine::PipelineSchedule::kGpipe) {
+    // All-forward-then-all-backward keeps every microbatch's activations
+    // alive through the forward phase.
+    return m;
+  }
+  return parallel::peak_inflight_microbatches(cand.par.pp, /*stage=*/0,
+                                              cand.par.vpp, m);
+}
+
+model::MemoryBreakdown candidate_memory(const PlanSpec& spec,
+                                        const PlanCandidate& cand) {
+  model::MemoryConfig mem = spec.memory;
+  if (cand.full_recompute) {
+    mem.activation_factor = model::MemoryConfig::kFullRecompute;
+  }
+  return model::peak_memory(spec.model, cand.par, peak_inflight(spec, cand),
+                            mem);
+}
+
+bool feasible(const PlanSpec& spec, const PlanCandidate& cand) {
+  return candidate_memory(spec, cand).total() <= spec.memory.gpu_hbm_bytes;
+}
+
+engine::JobConfig job_config(const PlanSpec& spec, const PlanCandidate& cand) {
+  engine::JobConfig cfg;
+  cfg.model = spec.model;
+  cfg.par = cand.par;
+  cfg.ops = spec.ops;
+  cfg.cluster = spec.cluster;
+  cfg.overlap = spec.overlap;
+  cfg.schedule = spec.schedule;
+  cfg.full_recompute = cand.full_recompute;
+  cfg.global_batch = spec.global_batch;
+  cfg.network_efficiency = spec.network_efficiency;
+  cfg.data_pipeline_time = spec.data_pipeline_time;
+  return cfg;
+}
+
+std::string candidate_name(const PlanCandidate& cand) {
+  std::string name = "tp" + std::to_string(cand.par.tp) + " pp" +
+                     std::to_string(cand.par.pp) + " dp" +
+                     std::to_string(cand.par.dp) + " vpp" +
+                     std::to_string(cand.par.vpp);
+  if (cand.full_recompute) name += " rc";
+  return name;
+}
+
+}  // namespace ms::plan

@@ -1,0 +1,95 @@
+// Parallelism-plan search space (ROADMAP item 1, MegaScale Table 2).
+//
+// A PlanSpec fixes what the planner may NOT change — the model architecture,
+// the cluster (GPU count, per-node NVLink domain, fabric efficiency), the
+// global batch and the software generation (operator profile + overlap
+// techniques). Everything else is the search space: the (TP × PP × DP × vpp
+// × recompute) factorization of the job, with the microbatch count per
+// replica implied by DP (microbatch size is one sequence, as in the engine).
+//
+// enumerate_space() yields every divisibility-valid point in deterministic
+// order; feasible() additionally applies the per-GPU memory capacity using
+// the exact schedule-derived peak in-flight microbatch count (the Table 2
+// footnote: "batch size constrained by GPU memory"). Every candidate that
+// survives is guaranteed to pass engine::validate() — the planner can hand
+// any of them to the discrete-event engine unchecked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collective/comm.h"
+#include "engine/job.h"
+#include "model/memory.h"
+#include "model/transformer.h"
+#include "parallel/mapping.h"
+
+namespace ms::plan {
+
+/// The fixed side of the planning problem: model M on cluster C.
+struct PlanSpec {
+  model::ModelConfig model;
+  collective::ClusterSpec cluster;
+  int gpus = 256;
+  int global_batch = 256;
+  /// Fraction of nominal NIC bandwidth collectives attain across the fabric
+  /// (ECMP conflicts, CC overhead). fabric_network_efficiency() derives it
+  /// from the CLOS/ECMP analysis; 0.9 matches the engine default.
+  double network_efficiency = 0.9;
+  model::MemoryConfig memory;
+  model::OperatorProfile ops = model::OperatorProfile::megascale();
+  engine::OverlapOptions overlap = engine::OverlapOptions::megascale();
+  engine::PipelineSchedule schedule = engine::PipelineSchedule::kOneFOneB;
+  /// When set, the space also contains full-recomputation variants of every
+  /// layout (≈ +33% compute for an activation footprint of ~2h instead of
+  /// ~34h per token-layer — trades step time for memory feasibility).
+  bool search_recompute = false;
+  /// Interleaving depths to consider (vpp still must divide layers/pp and
+  /// keep microbatches % pp == 0; caps the schedule-construction cost).
+  int max_vpp = 12;
+  /// Exposed data-pipeline time at each step head (engine default).
+  TimeNs data_pipeline_time = milliseconds(250.0);
+};
+
+/// One point of the search space. The topology mapping is implied by the
+/// repo's rank layout (parallel/mapping.h): TP fastest-varying and confined
+/// to one NVLink domain — enumerate_space() never emits tp >
+/// gpus_per_node — DP next, PP outermost across the fabric.
+struct PlanCandidate {
+  parallel::ParallelConfig par;
+  bool full_recompute = false;
+
+  int microbatches(const PlanSpec& spec) const {
+    return spec.global_batch / par.dp;
+  }
+  bool operator==(const PlanCandidate&) const = default;
+};
+
+/// All divisibility-valid candidates, deterministically ordered by
+/// (tp, pp, vpp, full_recompute). Divisibility-valid means: tp divides the
+/// NVLink domain, tp*pp*dp == spec.gpus, dp divides the global batch,
+/// layers divide into pp*vpp chunks, and the interleaved schedule's
+/// microbatches % pp == 0 constraint holds — exactly engine::validate()'s
+/// requirements.
+std::vector<PlanCandidate> enumerate_space(const PlanSpec& spec);
+
+/// Peak in-flight microbatches of the candidate's worst pipeline stage
+/// (stage 0 carries the deepest 1F1B warm-up; GPipe keeps all alive).
+int peak_inflight(const PlanSpec& spec, const PlanCandidate& cand);
+
+/// Memory accounting for the candidate (recompute variants swap the
+/// activation factor to the full-recomputation preset).
+model::MemoryBreakdown candidate_memory(const PlanSpec& spec,
+                                        const PlanCandidate& cand);
+
+/// Divisibility-valid AND the peak working set fits the per-GPU capacity.
+bool feasible(const PlanSpec& spec, const PlanCandidate& cand);
+
+/// Programmatic JobConfig construction: the candidate materialized as a
+/// ready-to-simulate engine configuration.
+engine::JobConfig job_config(const PlanSpec& spec, const PlanCandidate& cand);
+
+/// "tp8 pp8 dp48 vpp6" (+" rc" for recompute variants).
+std::string candidate_name(const PlanCandidate& cand);
+
+}  // namespace ms::plan

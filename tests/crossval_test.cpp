@@ -7,6 +7,8 @@
 #include "parallel/pipeline.h"
 #include "net/flowsim.h"
 #include "net/topology.h"
+#include "plan/analytic.h"
+#include "plan/space.h"
 
 namespace ms {
 namespace {
@@ -120,6 +122,46 @@ TEST(CrossVal, InterleavingShrinksIterationAtSmallMicrobatchCounts) {
   const double measured_gain =
       1.0 - to_seconds(v6.iteration_time) / to_seconds(v1.iteration_time);
   EXPECT_NEAR(measured_gain, predicted_gain, 0.12);
+}
+
+// The planner's closed-form cost (plan/analytic.h) is the pruning stage in
+// front of the DES engine, so it must *track* the simulator across the
+// whole layout grid, not just at the optimum: a model that is accurate for
+// pipeline-heavy layouts but wildly off for DP-heavy ones would silently
+// prune the wrong half of the space. 15% is the band the admissibility
+// property test tolerates; most layouts land within 2-3%.
+TEST(CrossVal, PlanAnalyticCostTracksEngineAcrossLayoutGrid) {
+  for (const bool megascale : {false, true}) {
+    plan::PlanSpec spec;
+    spec.model = model::config_175b();
+    spec.gpus = 1536;
+    spec.global_batch = 1536;
+    spec.network_efficiency = 0.7;
+    if (megascale) {
+      spec.model.parallel_block = true;
+      spec.model.attention = model::AttentionKind::kSlidingWindow;
+      spec.model.window = 512;
+    } else {
+      spec.ops = model::OperatorProfile::megatron_baseline();
+      spec.overlap = engine::OverlapOptions::megatron_lm();
+    }
+    int checked = 0;
+    for (const auto& cand : plan::enumerate_space(spec)) {
+      if (!plan::feasible(spec, cand)) continue;
+      // tp 8 keeps the grid (and tier-1 wall time) focused on the layouts
+      // Table 2 actually trades between; smaller-tp layouts are
+      // cross-validated exhaustively in plan_property_test.
+      if (cand.par.tp != 8) continue;
+      const auto analytic = plan::analytic_cost(spec, cand);
+      const auto sim = engine::simulate_iteration(plan::job_config(spec, cand));
+      EXPECT_NEAR(to_seconds(analytic.step), to_seconds(sim.iteration_time),
+                  0.15 * to_seconds(sim.iteration_time))
+          << plan::candidate_name(cand)
+          << (megascale ? " (megascale)" : " (baseline)");
+      ++checked;
+    }
+    EXPECT_GE(checked, 8) << (megascale ? "megascale" : "baseline");
+  }
 }
 
 }  // namespace

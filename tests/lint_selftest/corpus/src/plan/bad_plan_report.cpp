@@ -1,0 +1,18 @@
+// Fixture: a planner report emitter whose text never names its report
+// format — the src/plan/ location alone must hold it to the ordered-
+// iteration bar (rule scope, not keyword match).
+#include <string>
+#include <unordered_map>
+
+namespace ms::plan {
+
+std::string render_ranked(
+    const std::unordered_map<std::string, double>& plans) {
+  std::string out;
+  for (const auto& [name, step] : plans) {
+    out += name + " " + std::to_string(step) + "\n";
+  }
+  return out;
+}
+
+}  // namespace ms::plan

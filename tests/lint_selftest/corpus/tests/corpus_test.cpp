@@ -3,4 +3,5 @@
 // util/ is deliberately never referenced here so test-coverage fires on it.
 #include "diag/bad_digest.h"
 
-// bad_entropy is exercised elsewhere in the fixture narrative.
+// bad_entropy is exercised elsewhere in the fixture narrative, and
+// bad_plan_report has coverage so only ordered-digest fires on it.

@@ -1,0 +1,200 @@
+// Property suite for the plan auto-tuner: the analytic stage must be an
+// admissible pruner, the memory constraint must be sound, and the whole
+// pipeline must be bit-deterministic.
+//
+// Admissibility is the load-bearing property: the planner only DES-
+// validates the analytic top-K, so an inadmissible analytic ranking would
+// silently return a non-optimal "winner". On clusters small enough to
+// simulate the ENTIRE feasible space we therefore compare the planner's
+// answer against exhaustive ground truth across randomized specs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "engine/job.h"
+#include "model/transformer.h"
+#include "plan/analytic.h"
+#include "plan/planner.h"
+#include "plan/space.h"
+
+namespace ms {
+namespace {
+
+// A 16-layer 13B-shaped model: enough structure that TP/PP/DP trades are
+// non-trivial, small enough that exhaustive DES over the space stays in
+// tier-1 time.
+model::ModelConfig small_model() {
+  model::ModelConfig cfg = model::config_13b();
+  cfg.name = "13B-16L";
+  cfg.layers = 16;
+  return cfg;
+}
+
+// Randomized small planning problem. Seeded through the repo Rng so the
+// sampled specs are reproducible across runs and platforms.
+plan::PlanSpec random_spec(std::uint64_t seed) {
+  Rng rng(seed);
+  plan::PlanSpec spec;
+  spec.model = small_model();
+  const int gpu_choices[] = {16, 32, 64};
+  const int batch_choices[] = {32, 64};
+  spec.gpus = gpu_choices[rng.uniform_int(0, 2)];
+  spec.global_batch = batch_choices[rng.uniform_int(0, 1)];
+  spec.network_efficiency = 0.6 + 0.3 * rng.uniform();
+  if (rng.uniform_int(0, 1) == 0) {
+    spec.ops = model::OperatorProfile::megatron_baseline();
+    spec.overlap = engine::OverlapOptions::megatron_lm();
+  }
+  spec.max_vpp = 4;  // caps the space so exhaustive DES stays cheap
+  return spec;
+}
+
+// Exhaustive ground truth: simulate EVERY feasible candidate.
+struct Exhaustive {
+  plan::PlanCandidate best;
+  TimeNs best_step = 0;
+  int feasible = 0;
+};
+
+Exhaustive exhaustive_optimum(const plan::PlanSpec& spec) {
+  Exhaustive out;
+  for (const auto& cand : plan::enumerate_space(spec)) {
+    if (!plan::feasible(spec, cand)) continue;
+    const auto result = engine::simulate_iteration(plan::job_config(spec, cand));
+    ++out.feasible;
+    if (out.best_step == 0 || result.iteration_time < out.best_step) {
+      out.best_step = result.iteration_time;
+      out.best = cand;
+    }
+  }
+  return out;
+}
+
+// The analytic top-K must contain the true DES optimum — the planner's
+// winner ties the exhaustive search exactly on every sampled spec.
+TEST(PlanProperty, PrunerIsAdmissibleOnExhaustiveSpaces) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const plan::PlanSpec spec = random_spec(seed);
+    const Exhaustive truth = exhaustive_optimum(spec);
+    ASSERT_GT(truth.feasible, 0) << "seed " << seed;
+
+    plan::PlannerOptions opt;
+    opt.top_k = 8;
+    const plan::PlanReport report = plan::search(spec, opt);
+    ASSERT_FALSE(report.plans.empty()) << "seed " << seed;
+    EXPECT_EQ(report.feasible(), truth.feasible) << "seed " << seed;
+
+    const auto& winner = report.best();
+    ASSERT_TRUE(winner.simulated) << "seed " << seed;
+    EXPECT_EQ(winner.sim_step, truth.best_step)
+        << "seed " << seed << ": planner picked "
+        << plan::candidate_name(winner.cand) << ", exhaustive optimum is "
+        << plan::candidate_name(truth.best) << " (analytic top-"
+        << opt.top_k << " missed it)";
+  }
+}
+
+// Memory soundness: feasible() is exactly "peak working set fits the HBM";
+// search() accounts every enumerated candidate to one side or the other.
+TEST(PlanProperty, MemoryConstraintIsSound) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const plan::PlanSpec spec = random_spec(seed);
+    const auto space = plan::enumerate_space(spec);
+    int infeasible = 0;
+    for (const auto& cand : space) {
+      const double total = plan::candidate_memory(spec, cand).total();
+      EXPECT_EQ(plan::feasible(spec, cand),
+                total <= spec.memory.gpu_hbm_bytes)
+          << plan::candidate_name(cand);
+      infeasible += plan::feasible(spec, cand) ? 0 : 1;
+    }
+    const plan::PlanReport report = plan::search(spec);
+    EXPECT_EQ(report.enumerated, static_cast<int>(space.size()));
+    EXPECT_EQ(report.memory_rejected, infeasible);
+  }
+}
+
+// Every enumerated candidate is engine-legal: the planner can hand any of
+// them to the DES unchecked.
+TEST(PlanProperty, EnumeratedCandidatesAllPassEngineValidation) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const plan::PlanSpec spec = random_spec(seed);
+    int checked = 0;
+    for (const auto& cand : plan::enumerate_space(spec)) {
+      const std::string problem =
+          engine::validate(plan::job_config(spec, cand));
+      EXPECT_EQ(problem, "") << plan::candidate_name(cand);
+      ++checked;
+    }
+    EXPECT_GT(checked, 0) << "seed " << seed;
+  }
+}
+
+// Determinism: same spec, same process -> identical digest, identical
+// serialized report. (Cross-run stability is pinned by the Table-2 golden
+// fixtures in plan_test.)
+TEST(PlanProperty, SameSpecSameDigestAndReport) {
+  const plan::PlanSpec spec = random_spec(3);
+  const plan::PlanReport a = plan::search(spec);
+  const plan::PlanReport b = plan::search(spec);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.to_jsonl(), b.to_jsonl());
+  EXPECT_EQ(a.render_table(0), b.render_table(0));
+}
+
+TEST(PlanProperty, DigestSeparatesDifferentSpecs) {
+  plan::PlanSpec spec = random_spec(3);
+  const std::uint64_t base = plan::search(spec).digest();
+  spec.global_batch *= 2;
+  EXPECT_NE(plan::search(spec).digest(), base);
+}
+
+// Recompute variants trade step time for memory: same layout, strictly
+// smaller footprint, strictly more analytic compute.
+TEST(PlanProperty, RecomputeVariantsTradeTimeForMemory) {
+  plan::PlanSpec spec = random_spec(2);
+  spec.search_recompute = true;
+  int pairs = 0;
+  for (const auto& cand : plan::enumerate_space(spec)) {
+    if (!cand.full_recompute) continue;
+    plan::PlanCandidate stash = cand;
+    stash.full_recompute = false;
+    EXPECT_LT(plan::candidate_memory(spec, cand).total(),
+              plan::candidate_memory(spec, stash).total())
+        << plan::candidate_name(cand);
+    EXPECT_GT(plan::analytic_cost(spec, cand).step,
+              plan::analytic_cost(spec, stash).step)
+        << plan::candidate_name(cand);
+    ++pairs;
+  }
+  EXPECT_GT(pairs, 0);
+}
+
+// The analytic bubble fraction the report exposes is the textbook
+// (pp-1)/(vpp*m) closed form, and the in-flight peak is bounded by the
+// microbatch count (GPipe keeps everything alive, 1F1B drains).
+TEST(PlanProperty, AnalyticBubbleAndInflightBounds) {
+  const plan::PlanSpec spec = random_spec(1);
+  for (const auto& cand : plan::enumerate_space(spec)) {
+    const int m = cand.microbatches(spec);
+    const int peak = plan::peak_inflight(spec, cand);
+    EXPECT_GE(peak, 1) << plan::candidate_name(cand);
+    // Interleaving stashes one activation per in-flight (microbatch, chunk)
+    // pair, so the peak may exceed m but never m * vpp.
+    EXPECT_LE(peak, m * cand.par.vpp) << plan::candidate_name(cand);
+    const auto cost = plan::analytic_cost(spec, cand);
+    EXPECT_NEAR(cost.bubble_fraction,
+                static_cast<double>(cand.par.pp - 1) /
+                    (static_cast<double>(cand.par.vpp) * m),
+                1e-12)
+        << plan::candidate_name(cand);
+    EXPECT_GT(cost.step, 0);
+    EXPECT_GT(cost.mfu, 0);
+  }
+}
+
+}  // namespace
+}  // namespace ms

@@ -30,6 +30,9 @@ ordered-digest Digest/report-emitting files (anything whose text mentions
                containers: iteration order is hash-layout-dependent, which
                is exactly how bit-identical determinism digests silently
                break between runs, platforms and libstdc++ versions.
+               Everything under src/plan/ is held to this bar
+               unconditionally — planner files feed the ranked-report
+               digest even when the digest lives in a sibling TU.
 
 ambient-entropy rand()/srand(), std::random_device, time(nullptr) and
                system_clock are banned outside the designated homes
@@ -70,7 +73,8 @@ RULES = {
     "test-coverage": "every src/**/*.cpp is referenced by a test",
     "pragma-once": "every header under src/ uses #pragma once",
     "ordered-digest":
-        "digest/report-emitting files may not range-iterate unordered containers",
+        "digest/report-emitting files (and all of src/plan/) may not"
+        " range-iterate unordered containers",
     "ambient-entropy":
         "no rand()/random_device/time(nullptr)/system_clock outside core/rng.*,"
         " core/time.*",
@@ -234,7 +238,12 @@ class Linter:
         rule = "ordered-digest"
         for path in self.src_files((".h", ".cpp")):
             text = path.read_text()
-            if not DIGEST_FILE_RE.search(text):
+            rel = path.relative_to(self.root).as_posix()
+            # src/plan/ is digest-emitting by construction: every planner
+            # file feeds the ranked-report digest (often through a sibling
+            # TU), so the keyword heuristic is skipped there.
+            if not rel.startswith("src/plan/") \
+                    and not DIGEST_FILE_RE.search(text):
                 continue
             lines = text.splitlines()
             if rule in self.file_waivers(lines):

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "core/wallclock.h"
+
 namespace ms::collective {
 
 // ------------------------------------------------------- BlockingKvStore
@@ -91,11 +93,12 @@ std::int64_t BlockingKvStore::add(const std::string& key, std::int64_t delta) {
 
 std::optional<std::string> BlockingKvStore::wait(
     const std::string& key, std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const WallNs deadline =
+      wallclock_ns() + std::chrono::nanoseconds(timeout).count();
   for (;;) {
     auto value = get(key);  // one serialized request per poll
     if (value) return value;
-    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    if (wallclock_ns() >= deadline) return std::nullopt;
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 }
@@ -150,17 +153,17 @@ std::int64_t AsyncKvStore::add(const std::string& key, std::int64_t delta) {
 std::optional<std::string> AsyncKvStore::wait(const std::string& key,
                                               std::chrono::milliseconds timeout) {
   Shard& s = shard_for(key);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const WallNs deadline =
+      wallclock_ns() + std::chrono::nanoseconds(timeout).count();
   MutexLock lock(s.mu);
   for (;;) {
+    // The map lookup before the deadline check doubles as the "one last
+    // look" after a timed-out wait: the value may land while we block.
     auto it = s.map.find(key);
     if (it != s.map.end()) return it->second;
-    if (s.cv.wait_until(s.mu, deadline) == std::cv_status::timeout) {
-      // One last look: the value may have landed while we timed out.
-      auto last = s.map.find(key);
-      if (last != s.map.end()) return last->second;
-      return std::nullopt;
-    }
+    const WallNs remaining = deadline - wallclock_ns();
+    if (remaining <= 0) return std::nullopt;
+    s.cv.wait_for(s.mu, std::chrono::nanoseconds(remaining));
   }
 }
 
@@ -184,7 +187,7 @@ GroupInitResult run_group_init(KvStore& store, int world, int group_size,
   const int groups = world / group_size;
   std::atomic<bool> ok{true};
 
-  const auto start = std::chrono::steady_clock::now();
+  const WallNs start = wallclock_ns();
   std::vector<std::thread> ranks;
   ranks.reserve(static_cast<std::size_t>(world));
   for (int r = 0; r < world; ++r) {
@@ -225,7 +228,7 @@ GroupInitResult run_group_init(KvStore& store, int world, int group_size,
 
   GroupInitResult result;
   result.wall_time = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - start);
+      std::chrono::nanoseconds(wallclock_ns() - start));
   result.ok = ok;
   return result;
 }

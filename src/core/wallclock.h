@@ -1,0 +1,37 @@
+// The sanctioned host monotonic clock (simulator self-measurement only).
+//
+// Everything the simulator *models* runs on simulated TimeNs (core/time.h);
+// this header is the one place the repo is allowed to read the host's
+// wall clock, and only its monotonic flavour: profiling the simulator's own
+// hot loops (src/prof), bench wall-time reporting, and real deadline waits
+// in the threaded components (kvstore timeouts). The `ambient-entropy` lint
+// rule bans std::chrono::steady_clock everywhere else so host time cannot
+// leak into simulation results — a simulated outcome that depends on how
+// fast the host ran is a determinism bug by definition.
+//
+// Monotonic-only by design: there is deliberately no calendar/system_clock
+// accessor here (timestamps for log lines route through the log layer's
+// injectable provider instead). No locks, no TSA annotations needed — the
+// clock read is a pure syscall/vDSO call with no shared mutable state.
+#pragma once
+
+#include <cstdint>
+
+namespace ms {
+
+/// Host monotonic time in nanoseconds since an arbitrary epoch. Distinct
+/// alias from TimeNs on purpose: a WallNs must never be folded into a
+/// simulated timestamp (the digest tests would catch it as nondeterminism).
+using WallNs = std::int64_t;
+
+/// Reads the host monotonic clock (std::chrono::steady_clock under the
+/// hood). Never decreases within a process; comparable across threads.
+WallNs wallclock_ns();
+
+/// Convenience for rate math: wall nanoseconds -> seconds.
+// ms-lint: allow(raw-seconds): host wall time, not simulated — TimeNs N/A
+constexpr double wall_to_seconds(WallNs ns) {
+  return static_cast<double>(ns) / 1'000'000'000.0;
+}
+
+}  // namespace ms

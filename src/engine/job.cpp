@@ -8,6 +8,7 @@
 #include "parallel/overlap.h"
 #include "parallel/pipeline.h"
 #include "parallel/zero.h"
+#include "prof/profiler.h"
 #include "sim/engine.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -86,6 +87,7 @@ std::string describe(const JobConfig& cfg) {
 }
 
 IterationResult simulate_iteration(const JobConfig& cfg) {
+  MS_PROF_SCOPE("engine.simulate_iteration");
   const std::string err = validate(cfg);
   assert(err.empty() && "invalid JobConfig");
   if (!err.empty()) return {};

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "check/audit.h"
+#include "prof/profiler.h"
 #include "telemetry/metrics.h"
 
 namespace ms::ft {
@@ -76,6 +77,7 @@ DetectionResult detect_fault(const WorkflowConfig& cfg, FaultType type,
 RunReport run_robust_training(const WorkflowConfig& cfg, TimeNs duration,
                               const std::vector<FaultEvent>& faults,
                               Rng& rng) {
+  MS_PROF_SCOPE("ft.run_robust_training");
   RunReport report;
   report.duration = duration;
 

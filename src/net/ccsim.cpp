@@ -6,6 +6,7 @@
 #include <string>
 
 #include "check/audit.h"
+#include "prof/profiler.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "telemetry/metrics.h"
@@ -93,6 +94,7 @@ double MegaScaleCc::on_feedback(double current_rate, const CcFeedback& fb) {
 CcSimResult run_cc_sim(
     const CcSimParams& params,
     const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm) {
+  MS_PROF_SCOPE("ccsim.run");
   assert(params.senders > 0);
   const int n = params.senders;
   const double dt = params.step_s;

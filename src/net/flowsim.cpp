@@ -8,6 +8,7 @@
 #include <string>
 
 #include "check/audit.h"
+#include "prof/profiler.h"
 #include "telemetry/metrics.h"
 
 namespace ms::net {
@@ -32,6 +33,7 @@ int FlowSim::add_flow(Path path, Bytes size, TimeNs arrival) {
 }
 
 std::vector<double> FlowSim::compute_rates() const {
+  MS_PROF_SCOPE("flowsim.rates");
   const std::size_t n = flows_.size();
   std::vector<double> rate(n, 0.0);
   std::vector<char> fixed(n, 1);
@@ -115,6 +117,7 @@ std::vector<double> FlowSim::compute_rates() const {
 }
 
 void FlowSim::run() {
+  MS_PROF_SCOPE("flowsim.run");
   if (ran_) throw std::logic_error("FlowSim::run called twice");
   ran_ = true;
   const std::size_t n = flows_.size();

@@ -7,20 +7,38 @@
 
 namespace ms::sim {
 
-EventId Engine::at(TimeNs t, std::function<void()> fn) {
+#if defined(MS_PROF_ENABLED) && MS_PROF_ENABLED
+namespace {
+
+// Attribution bucket for events scheduled without an explicit kind.
+prof::ScopeId default_event_scope() {
+  static const prof::ScopeId id = prof::register_scope("engine.event");
+  return id;
+}
+
+}  // namespace
+#endif
+
+EventId Engine::at(TimeNs t, std::function<void()> fn, prof::ScopeId kind) {
   MS_AUDIT("sim.engine", "schedule_not_in_past", t >= now_,
            "at(" + std::to_string(t) + ") with now=" + std::to_string(now_));
   if (t < now_) t = now_;  // clamp: keeps time monotone even under misuse
   const EventId id = next_id_++;
   queue_.push(Entry{t, id});
-  callbacks_.emplace(id, std::move(fn));
+  callbacks_.emplace(id, Callback{std::move(fn), kind});
   ++live_;
+  if (queue_.size() > peak_queue_size_) peak_queue_size_ = queue_.size();
+  // One heap-backed callback node per scheduled event: the allocation the
+  // ROADMAP item-2 slab rebuild is meant to eliminate. Deterministic, so
+  // the micro_engine bench gates allocs/event at exact tolerance.
+  MS_PROF_COUNT_ALLOC(1);
   return id;
 }
 
-EventId Engine::after(TimeNs delay, std::function<void()> fn) {
+EventId Engine::after(TimeNs delay, std::function<void()> fn,
+                      prof::ScopeId kind) {
   if (delay < 0) delay = 0;
-  return at(now_ + delay, std::move(fn));
+  return at(now_ + delay, std::move(fn), kind);
 }
 
 bool Engine::cancel(EventId id) {
@@ -33,6 +51,7 @@ bool Engine::cancel(EventId id) {
 }
 
 bool Engine::pop_next(Entry& out) {
+  MS_PROF_SCOPE("engine.pop");
   while (!queue_.empty()) {
     Entry e = queue_.top();
     queue_.pop();
@@ -40,7 +59,7 @@ bool Engine::pop_next(Entry& out) {
       out = e;
       return true;
     }
-    // tombstoned (cancelled) — skip
+    ++tombstone_pops_;  // tombstoned (cancelled) — skip
   }
   return false;
 }
@@ -61,7 +80,7 @@ void Engine::fire(const Entry& e) {
   auto it = callbacks_.find(e.id);
   // pop_next guaranteed presence; move the callback out before invoking so
   // the callback may freely schedule/cancel.
-  std::function<void()> fn = std::move(it->second);
+  Callback cb = std::move(it->second);
   callbacks_.erase(it);
   --live_;
   ++executed_;
@@ -71,7 +90,19 @@ void Engine::fire(const Entry& e) {
            "issued=" + std::to_string(next_id_ - 1) + " executed=" +
                std::to_string(executed_) + " cancelled=" +
                std::to_string(cancelled_) + " live=" + std::to_string(live_));
-  fn();
+#if defined(MS_PROF_ENABLED) && MS_PROF_ENABLED
+  {
+    // Per-event handler-cost attribution: tagged events under their kind
+    // scope, the rest under "engine.event". One relaxed load + branch
+    // when the profiler is dormant.
+    prof::ScopeTimer timer(cb.kind != prof::kInvalidScope
+                               ? cb.kind
+                               : default_event_scope());
+    cb.fn();
+  }
+#else
+  cb.fn();
+#endif
 }
 
 bool Engine::step() {
@@ -82,12 +113,14 @@ bool Engine::step() {
 }
 
 void Engine::run() {
+  MS_PROF_SCOPE("engine.run");
   stopped_ = false;
   while (!stopped_ && step()) {
   }
 }
 
 void Engine::run_until(TimeNs t) {
+  MS_PROF_SCOPE("engine.run_until");
   stopped_ = false;
   Entry e;
   while (!stopped_) {

@@ -16,6 +16,7 @@
 
 #include "check/digest.h"
 #include "core/time.h"
+#include "prof/profiler.h"
 
 namespace ms::sim {
 
@@ -33,10 +34,16 @@ class Engine {
 
   /// Schedules fn at absolute time t. Scheduling into the past is an
   /// audited invariant violation; the event is clamped to fire at now().
-  EventId at(TimeNs t, std::function<void()> fn);
+  /// `kind` optionally tags the event with a profiler scope so the
+  /// self-profiler attributes handler cost per event type; untagged
+  /// events aggregate under "engine.event". Purely observational — kind
+  /// never influences ordering, the digest, or any simulated result.
+  EventId at(TimeNs t, std::function<void()> fn,
+             prof::ScopeId kind = prof::kInvalidScope);
 
   /// Schedules fn after a relative delay (clamped to >= 0).
-  EventId after(TimeNs delay, std::function<void()> fn);
+  EventId after(TimeNs delay, std::function<void()> fn,
+                prof::ScopeId kind = prof::kInvalidScope);
 
   /// Cancels a pending event. Returns false if it already fired / was
   /// cancelled. Cancellation is O(1): the slot is tombstoned.
@@ -65,6 +72,30 @@ class Engine {
   /// Number of events currently pending (tombstones excluded).
   std::size_t pending() const { return live_; }
 
+  // ------------------------------------------------- introspection (prof)
+  // Event-loop observability for the self-profiler and telemetry gauges
+  // (`engine_queue_depth`). All O(1) reads of existing counters.
+
+  /// Heap entries currently in the priority queue, tombstones INCLUDED —
+  /// this is the number the O(log n) heap operations actually see.
+  std::size_t queue_size() const { return queue_.size(); }
+
+  /// High-water mark of queue_size() since construction.
+  std::size_t peak_queue_size() const { return peak_queue_size_; }
+
+  /// Cancelled entries still occupying heap slots (queue_size() minus
+  /// live events). They cost pop-and-skip work until their timestamp.
+  std::size_t tombstone_count() const {
+    return queue_.size() > live_ ? queue_.size() - live_ : 0;
+  }
+
+  /// Tombstoned entries popped and skipped so far — the cumulative price
+  /// of O(1) cancellation.
+  std::uint64_t tombstone_pops() const { return tombstone_pops_; }
+
+  /// Total event ids ever issued (fired + cancelled + pending).
+  std::uint64_t scheduled() const { return next_id_ - 1; }
+
   /// Order-sensitive digest over every executed (event id, timestamp)
   /// pair. Two runs of the same deterministic scenario produce identical
   /// digests; see check/digest.h.
@@ -87,15 +118,21 @@ class Engine {
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t tombstone_pops_ = 0;
   std::size_t live_ = 0;
+  std::size_t peak_queue_size_ = 0;
   bool stopped_ = false;
   TimeNs last_fired_t_ = -1;
   EventId last_fired_id_ = 0;
   check::Digest digest_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  struct Callback {
+    std::function<void()> fn;
+    prof::ScopeId kind = prof::kInvalidScope;
+  };
   // id -> callback; erased on fire/cancel. Engine overhead is not the
   // bottleneck in our experiments, so std::unordered_map is fine here.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::unordered_map<EventId, Callback> callbacks_;
 };
 
 }  // namespace ms::sim

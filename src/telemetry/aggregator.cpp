@@ -1,5 +1,7 @@
 #include "telemetry/aggregator.h"
 
+#include "prof/profiler.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -31,6 +33,7 @@ SketchSnapshot AggregationTree::flat_merge() const {
 }
 
 FlushReport AggregationTree::flush() {
+  MS_PROF_SCOPE("telemetry.agg_flush");
   FlushReport report;
 
   // ---- level 0: rank -> host (NVLink / shared memory) -------------------

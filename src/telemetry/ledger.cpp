@@ -1,5 +1,7 @@
 #include "telemetry/ledger.h"
 
+#include "prof/profiler.h"
+
 #include <algorithm>
 #include <bit>
 #include <cassert>
@@ -129,6 +131,7 @@ void fold_double(check::Digest& d, double v) {
 }  // namespace
 
 LedgerSeries RunLedger::finalize() const {
+  MS_PROF_SCOPE("telemetry.ledger_finalize");
   LedgerSeries series;
   series.duration = cfg_.duration;
   series.interval = cfg_.interval;

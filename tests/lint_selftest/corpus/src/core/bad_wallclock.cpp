@@ -1,0 +1,23 @@
+// Fixture: raw monotonic-clock reads outside core/wallclock.* — the
+// profiler's sanctioned clock module is exempt, everything else fires.
+#include <chrono>
+
+namespace fixture {
+
+long long elapsed_ns() {
+  using clock = std::chrono::steady_clock;  // fires ambient-entropy
+  return clock::now().time_since_epoch().count();
+}
+
+long long hires_ns() {
+  return std::chrono::high_resolution_clock::now()  // fires ambient-entropy
+      .time_since_epoch()
+      .count();
+}
+
+long long sanctioned_ns() {
+  // ms-lint: allow(ambient-entropy): fixture — waiver honored, no finding
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

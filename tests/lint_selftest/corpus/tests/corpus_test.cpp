@@ -3,5 +3,6 @@
 // util/ is deliberately never referenced here so test-coverage fires on it.
 #include "diag/bad_digest.h"
 
-// bad_entropy is exercised elsewhere in the fixture narrative, and
-// bad_plan_report has coverage so only ordered-digest fires on it.
+// bad_entropy and bad_wallclock are exercised elsewhere in the fixture
+// narrative, and bad_plan_report has coverage so only ordered-digest fires
+// on it.

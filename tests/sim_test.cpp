@@ -213,6 +213,45 @@ TEST(Engine, CancelledEventsExcludedFromDigestAndExecuted) {
   EXPECT_EQ(e1.digest(), e2.digest());
 }
 
+TEST(Engine, QueueIntrospectionGetters) {
+  Engine e;
+  EXPECT_EQ(e.queue_size(), 0u);
+  EXPECT_EQ(e.peak_queue_size(), 0u);
+  EXPECT_EQ(e.scheduled(), 0u);
+  const EventId a = e.at(seconds(1.0), [] {});
+  e.at(seconds(2.0), [] {});
+  e.at(seconds(3.0), [] {});
+  EXPECT_EQ(e.queue_size(), 3u);
+  EXPECT_EQ(e.peak_queue_size(), 3u);
+  EXPECT_EQ(e.scheduled(), 3u);
+  EXPECT_EQ(e.tombstone_count(), 0u);
+
+  // A cancelled event stays in the heap as a tombstone until popped.
+  e.cancel(a);
+  EXPECT_EQ(e.queue_size(), 3u);
+  EXPECT_EQ(e.tombstone_count(), 1u);
+  EXPECT_EQ(e.tombstone_pops(), 0u);
+
+  e.run();
+  EXPECT_EQ(e.queue_size(), 0u);
+  EXPECT_EQ(e.tombstone_count(), 0u);
+  EXPECT_EQ(e.tombstone_pops(), 1u);  // the skip was counted
+  EXPECT_EQ(e.peak_queue_size(), 3u);  // high-water mark survives the drain
+  EXPECT_EQ(e.executed(), 2u);
+}
+
+TEST(Engine, PeakQueueTracksMidRunScheduling) {
+  Engine e;
+  e.at(seconds(1.0), [&e] {
+    for (int i = 0; i < 5; ++i) e.after(seconds(1.0), [] {});
+  });
+  EXPECT_EQ(e.peak_queue_size(), 1u);
+  e.run();
+  // The callback pushed 5 events while the queue held none: peak is 5.
+  EXPECT_EQ(e.peak_queue_size(), 5u);
+  EXPECT_EQ(e.executed(), 6u);
+}
+
 // ---------------------------------------------------------------- graph
 
 TEST(Graph, SerialChainOnOneStream) {

@@ -34,10 +34,13 @@ ordered-digest Digest/report-emitting files (anything whose text mentions
                unconditionally — planner files feed the ranked-report
                digest even when the digest lives in a sibling TU.
 
-ambient-entropy rand()/srand(), std::random_device, time(nullptr) and
-               system_clock are banned outside the designated homes
-               (core/rng.*, core/time.*). All randomness routes through
-               derive_seed() substreams; all simulated time through TimeNs.
+ambient-entropy rand()/srand(), std::random_device, time(nullptr),
+               system_clock, steady_clock and high_resolution_clock are
+               banned outside the designated homes (core/rng.*, core/time.*,
+               core/wallclock.*). All randomness routes through
+               derive_seed() substreams; simulated time through TimeNs; host
+               wall time through wallclock_ns() (core/wallclock.h), the one
+               module allowed to touch the monotonic clock.
 
 mutex-annotated Raw std::mutex/std::condition_variable/lock_guard etc. are
                banned outside core/mutex.h. Clang thread-safety analysis
@@ -76,8 +79,8 @@ RULES = {
         "digest/report-emitting files (and all of src/plan/) may not"
         " range-iterate unordered containers",
     "ambient-entropy":
-        "no rand()/random_device/time(nullptr)/system_clock outside core/rng.*,"
-        " core/time.*",
+        "no rand()/random_device/time(nullptr)/system_clock/steady_clock"
+        " outside core/rng.*, core/time.*, core/wallclock.*",
     "mutex-annotated":
         "no raw std::mutex/condition_variable/lock_guard outside core/mutex.h;"
         " use ms::Mutex/MutexLock/CondVar",
@@ -90,7 +93,8 @@ DIGEST_FILE_RE = re.compile(r"digest|jsonl|to_json", re.IGNORECASE)
 UNORDERED_DECL_RE = re.compile(r"std::unordered_(?:map|set|multimap|multiset)\s*<")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?:\w+(?:\.|->))*(\w+)\s*\)")
 AMBIENT_ENTROPY_RE = re.compile(
-    r"\brandom_device\b|\bsystem_clock\b|(?<![\w:.>])s?rand\s*\(|"
+    r"\brandom_device\b|\bsystem_clock\b|\bsteady_clock\b|"
+    r"\bhigh_resolution_clock\b|(?<![\w:.>])s?rand\s*\(|"
     r"(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
 RAW_MUTEX_RE = re.compile(
     r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
@@ -105,10 +109,13 @@ BARE_WAIVER_RE = re.compile(r"ms-lint:\s*allow(?:-file)?\([\w-]+\)\s*:?\s*$")
 EXEMPT = {
     "unit-literal": {"src/core/units.h", "src/core/time.h"},
     "raw-seconds": {"src/core/time.h", "src/core/units.h"},
-    # rng.* is where seeds become streams; time.* owns the one wall-clock
-    # boundary. Everything else derives.
+    # rng.* is where seeds become streams; time.* owns the seconds<->TimeNs
+    # boundary; wallclock.* is the ONE module allowed to read the host's
+    # monotonic clock (simulator self-profiling, real deadline waits).
+    # Everything else derives.
     "ambient-entropy": {"src/core/rng.h", "src/core/rng.cpp",
-                        "src/core/time.h", "src/core/time.cpp"},
+                        "src/core/time.h", "src/core/time.cpp",
+                        "src/core/wallclock.h", "src/core/wallclock.cpp"},
     # The annotated wrapper home: the std::mutex inside ms::Mutex IS the
     # wrapped capability.
     "mutex-annotated": {"src/core/mutex.h"},

@@ -20,6 +20,8 @@
 // nonzero when a gate fails.
 #include <cstdio>
 
+#include <memory>
+
 #include "bench/common.h"
 #include "chaos/schedule.h"
 #include "core/stats.h"
@@ -27,6 +29,8 @@
 #include "diag/artifact.h"
 #include "diag/blame.h"
 #include "ft/workflow.h"
+#include "net/ccsim_multi.h"
+#include "net/fabric/observatory.h"
 #include "optim/trainer.h"
 #include "telemetry/aggregator.h"
 #include "telemetry/dashboard.h"
@@ -193,7 +197,25 @@ int main() {
   acfg.network_efficiency = job.network_efficiency;
   telemetry::AggregationTree tree(acfg);
   const auto rank_sketch = telemetry::SketchSnapshot::from(registry.snapshot());
-  for (int r = 0; r < acfg.ranks; ++r) tree.submit(r, rank_sketch);
+  // Each host's NIC daemon exports its local fabric series (per-link
+  // utilization, queue depth, ECN and PFC counters from net/fabric)
+  // alongside the rank metrics; a storm-shaped multi-hop run stands in for
+  // one host's worth of link samples. The fabric sketch rides the host
+  // leader rank's submission, so fabric sampling is charged against the
+  // same <1% observability-overhead gate as everything else.
+  net::fabric::FabricObservatory fabric_obs;
+  {
+    net::MultiCcParams fparams = net::victim_params(8);
+    fparams.observatory = &fabric_obs;
+    net::run_multi_cc_sim(fparams,
+                          [] { return std::make_unique<net::Dcqcn>(); });
+  }
+  const auto fabric_sketch = fabric_obs.sketch();
+  auto leader_sketch = rank_sketch;
+  leader_sketch.merge(fabric_sketch);
+  for (int r = 0; r < acfg.ranks; ++r) {
+    tree.submit(r, r % acfg.ranks_per_host == 0 ? leader_sketch : rank_sketch);
+  }
   const auto flush = tree.flush();
   Table at({"aggregation level", "senders", "bytes/flush", "stage latency"});
   for (const auto& level : flush.levels) {
@@ -211,6 +233,11 @@ int main() {
       format_duration(acfg.flush_interval).c_str(),
       format_duration(flush.propagation_latency).c_str(),
       flush.per_host_uplink / 1e6, flush.overhead_fraction * 100.0);
+  std::printf(
+      "fabric observatory: %d links, %zu series, %lld B per host leader "
+      "sketch\n\n",
+      fabric_obs.link_count(), fabric_sketch.size(),
+      static_cast<long long>(fabric_sketch.encoded_bytes()));
 
   std::printf("--- telemetry dashboard (per-step + heartbeat health) ---\n");
   std::printf("%s\n", dashboard.report().c_str());
@@ -266,6 +293,8 @@ int main() {
   br.metric("agg_propagation_ms", to_milliseconds(flush.propagation_latency),
             0.10);
   br.info("ledger_intervals", static_cast<double>(series.intervals.size()));
+  br.info("fabric_sketch_bytes",
+          static_cast<double>(fabric_sketch.encoded_bytes()));
 
   // ---- gates ----
   int failures = 0;

@@ -48,6 +48,10 @@ std::uint64_t compute_record_digest(const OutcomeRecord& record) {
   fold_double(digest, record.pfc_pause_fraction);
   fold_double(digest, record.ecmp_conflict_fraction);
   digest.fold(static_cast<std::int64_t>(record.spare_pool_exhausted));
+  digest.fold(static_cast<std::int64_t>(record.fabric_localizations));
+  digest.fold(static_cast<std::int64_t>(record.fabric_top1_correct));
+  digest.fold(static_cast<std::int64_t>(record.fabric_alarms));
+  digest.fold(record.fabric_detect_latency);
   digest.fold(record.schedule_digest);
   digest.fold(record.engine_digest);
   return digest.value();
@@ -131,6 +135,18 @@ std::vector<std::string> diff_outcomes(const OutcomeRecord& got,
              want.ecmp_conflict_fraction, tol.ratio);
   diff_exact(out, "spare_pool_exhausted", got.spare_pool_exhausted,
              want.spare_pool_exhausted);
+  diff_exact(out, "fabric_localizations", got.fabric_localizations,
+             want.fabric_localizations);
+  diff_exact(out, "fabric_top1_correct", got.fabric_top1_correct,
+             want.fabric_top1_correct);
+  diff_exact(out, "fabric_alarms", got.fabric_alarms, want.fabric_alarms);
+  // Same slack scheme as the latency leaves: relative plus 1 ms absolute.
+  diff_close(out, "fabric_detect_latency",
+             static_cast<double>(got.fabric_detect_latency),
+             static_cast<double>(want.fabric_detect_latency),
+             tol.latency_frac *
+                     std::fabs(static_cast<double>(want.fabric_detect_latency)) +
+                 static_cast<double>(milliseconds(1.0)));
   return out;
 }
 
@@ -256,6 +272,10 @@ std::string to_json(const OutcomeRecord& r) {
   emit(out, "pfc_pause_fraction", r.pfc_pause_fraction);
   emit(out, "ecmp_conflict_fraction", r.ecmp_conflict_fraction);
   emit_i(out, "spare_pool_exhausted", r.spare_pool_exhausted);
+  emit_i(out, "fabric_localizations", r.fabric_localizations);
+  emit_i(out, "fabric_top1_correct", r.fabric_top1_correct);
+  emit_i(out, "fabric_alarms", r.fabric_alarms);
+  emit_i(out, "fabric_detect_latency_ns", r.fabric_detect_latency);
   emit_hex(out, "schedule_digest", r.schedule_digest);
   emit_hex(out, "engine_digest", r.engine_digest);
   emit_hex(out, "record_digest", r.record_digest, /*last=*/true);
@@ -266,7 +286,7 @@ std::string to_json(const OutcomeRecord& r) {
 bool from_json(const std::string& text, OutcomeRecord& out) {
   OutcomeRecord r;
   std::int64_t seed = 0, faults = 0, restarts = 0, undetected = 0, nccl = 0,
-               spares = 0;
+               spares = 0, fab_loc = 0, fab_top1 = 0, fab_alarms = 0;
   if (!scan_token(text, "scenario", r.scenario)) return false;
   if (!scan_i(text, "seed", seed)) return false;
   r.seed = static_cast<std::uint64_t>(seed);
@@ -284,6 +304,10 @@ bool from_json(const std::string& text, OutcomeRecord& out) {
       !scan_d(text, "pfc_pause_fraction", r.pfc_pause_fraction) ||
       !scan_d(text, "ecmp_conflict_fraction", r.ecmp_conflict_fraction) ||
       !scan_i(text, "spare_pool_exhausted", spares) ||
+      !scan_i(text, "fabric_localizations", fab_loc) ||
+      !scan_i(text, "fabric_top1_correct", fab_top1) ||
+      !scan_i(text, "fabric_alarms", fab_alarms) ||
+      !scan_i(text, "fabric_detect_latency_ns", r.fabric_detect_latency) ||
       !scan_u(text, "schedule_digest", r.schedule_digest) ||
       !scan_u(text, "engine_digest", r.engine_digest) ||
       !scan_u(text, "record_digest", r.record_digest)) {
@@ -294,6 +318,9 @@ bool from_json(const std::string& text, OutcomeRecord& out) {
   r.undetected_faults = static_cast<int>(undetected);
   r.nccl_errors = static_cast<int>(nccl);
   r.spare_pool_exhausted = static_cast<int>(spares);
+  r.fabric_localizations = static_cast<int>(fab_loc);
+  r.fabric_top1_correct = static_cast<int>(fab_top1);
+  r.fabric_alarms = static_cast<int>(fab_alarms);
   out = r;
   return true;
 }

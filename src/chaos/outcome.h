@@ -53,6 +53,18 @@ struct OutcomeRecord {
   double ecmp_conflict_fraction = 0; ///< worst rehash's conflicted flows
   int spare_pool_exhausted = 0;
 
+  // ---- fabric observatory (congestion localization) -------------------
+  /// Storm/rehash faults graded on localization (observatory enabled and
+  /// something to localize).
+  int fabric_localizations = 0;
+  /// Of those, runs where the top-1 ranked link was the injected hot link.
+  int fabric_top1_correct = 0;
+  /// Detector alarms raised across the localization runs.
+  int fabric_alarms = 0;
+  /// Worst first-alarm time within a localization window (detection
+  /// latency in simulated time; 0 when no run alarmed).
+  TimeNs fabric_detect_latency = 0;
+
   // ---- determinism ----------------------------------------------------
   std::uint64_t schedule_digest = 0;  ///< digest of the injected schedule
   std::uint64_t engine_digest = 0;    ///< driver-sim Engine::digest()

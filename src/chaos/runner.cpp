@@ -6,12 +6,17 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "core/stats.h"
 #include "diag/flight_recorder.h"
 #include "engine/job.h"
 #include "ft/driver_sim.h"
 #include "net/ccsim.h"
+#include "net/ccsim_multi.h"
 #include "net/ecmp.h"
+#include "net/fabric/detectors.h"
+#include "net/fabric/observatory.h"
 #include "net/flap.h"
 #include "net/topology.h"
 #include "telemetry/metrics.h"
@@ -73,6 +78,87 @@ net::CcSimResult run_storm(double intensity) {
 struct DriverFaultPlan {
   std::vector<ft::FaultEvent> faults;
 };
+
+/// One graded localization run (see ChaosConfig::fabric_localization).
+struct FabricVerdict {
+  bool scored = false;       ///< there was a hot link to name
+  bool top1_correct = false; ///< the detectors named it first
+  int alarms = 0;
+  TimeNs first_alarm = -1;
+};
+
+/// Replays a PFC storm through the multi-hop victim chain under a fabric
+/// observatory and asks the detectors to name the bottleneck hop. Ground
+/// truth is the chain's last hop — the only queue that congests from its
+/// own service deficit; everything upstream is paused collateral.
+FabricVerdict localize_storm(double intensity, diag::FlightRecorder* flight) {
+  net::MultiCcParams params =
+      net::victim_params(4 + static_cast<int>(12.0 * intensity));
+  net::fabric::FabricObservatoryConfig obs_cfg;
+  obs_cfg.flight = flight;
+  net::fabric::FabricObservatory obs(obs_cfg);
+  params.observatory = &obs;
+  net::run_multi_cc_sim(params, [] { return std::make_unique<net::Dcqcn>(); });
+
+  net::fabric::FabricDetectorConfig det;
+  det.queue_hot_bytes = params.pfc_pause;
+  const auto report = net::fabric::detect_anomalies(obs, det);
+
+  FabricVerdict verdict;
+  verdict.scored = true;
+  verdict.alarms = static_cast<int>(report.alarms.size());
+  verdict.first_alarm = report.first_alarm;
+  const int truth = obs.find_link(params.observatory_link_prefix +
+                                  std::to_string(params.hops - 1));
+  verdict.top1_correct = truth >= 0 && report.hottest_link == truth;
+  return verdict;
+}
+
+/// Grades an ECMP rehash round: the observatory records every routed flow,
+/// and the detectors must rank a maximally-loaded inter-switch uplink
+/// first. Rounds whose worst uplink carries a single flow have nothing to
+/// localize and are not scored.
+FabricVerdict localize_rehash(const net::ClosTopology& topo,
+                              const std::vector<net::FlowSpec>& flows,
+                              diag::FlightRecorder* flight) {
+  net::fabric::FabricObservatoryConfig obs_cfg;
+  obs_cfg.flight = flight;
+  net::fabric::FabricObservatory obs(obs_cfg);
+  net::analyze_ecmp(topo, flows, &obs);
+
+  // Independent ground truth: per-link loads from the same deterministic
+  // router, ordered so ties resolve to the lowest LinkId.
+  net::EcmpRouter router(topo);
+  std::map<net::LinkId, int> load;
+  for (const auto& flow : flows) {
+    for (net::LinkId l : router.route(flow)) ++load[l];
+  }
+  int max_inter_load = 0;
+  for (const auto& [l, n_flows] : load) {
+    const auto& link = topo.link(l);
+    const bool inter_switch =
+        topo.node(link.src).kind != net::NodeKind::kHost &&
+        topo.node(link.dst).kind != net::NodeKind::kHost;
+    if (inter_switch) max_inter_load = std::max(max_inter_load, n_flows);
+  }
+
+  FabricVerdict verdict;
+  if (max_inter_load < 2) return verdict;  // no conflict: nothing to name
+  verdict.scored = true;
+
+  net::fabric::FabricDetectorConfig det;
+  det.incast_fan_in = 2;  // two elephants on one uplink IS the conflict
+  const auto report = net::fabric::detect_anomalies(obs, det);
+  verdict.alarms = static_cast<int>(report.alarms.size());
+  verdict.first_alarm = report.first_alarm;
+  // Every maximally-loaded uplink is an equally correct answer (ECMP ties
+  // are physical: the same flow count hashes onto each).
+  if (report.hottest_link >= 0) {
+    const auto it = load.find(static_cast<net::LinkId>(report.hottest_link));
+    verdict.top1_correct = it != load.end() && it->second == max_inter_load;
+  }
+  return verdict;
+}
 
 }  // namespace
 
@@ -142,11 +228,26 @@ OutcomeRecord run_schedule(const ChaosConfig& cfg,
         record.ckpt_stall_total += std::max<TimeNs>(0, fault.duration);
         break;
       case FaultKind::kPfcStorm: {
-        const auto storm = run_storm(std::clamp(fault.magnitude, 0.05, 1.0));
+        const double intensity = std::clamp(fault.magnitude, 0.05, 1.0);
+        const auto storm = run_storm(intensity);
         record.pfc_pause_fraction =
             std::max(record.pfc_pause_fraction, storm.pfc_pause_fraction);
         const double pause = std::min(storm.pfc_pause_fraction, 0.9);
         comm_factor = std::max(comm_factor, 1.0 / (1.0 - pause));
+        if (cfg.fabric_localization) {
+          const auto verdict = localize_storm(intensity, cfg.flight);
+          ++record.fabric_localizations;
+          record.fabric_alarms += verdict.alarms;
+          if (verdict.top1_correct) ++record.fabric_top1_correct;
+          if (verdict.first_alarm >= 0) {
+            record.fabric_detect_latency =
+                std::max(record.fabric_detect_latency, verdict.first_alarm);
+          } else {
+            // A storm that congested the fabric without one fabric alarm is
+            // a detection hole, same class as a dead heartbeat path.
+            ++record.undetected_faults;
+          }
+        }
         break;
       }
       case FaultKind::kEcmpRehash: {
@@ -161,6 +262,20 @@ OutcomeRecord run_schedule(const ChaosConfig& cfg,
             std::max(record.ecmp_conflict_fraction, report.conflict_fraction);
         const double tput = std::max(report.mean_throughput_frac, 0.1);
         comm_factor = std::max(comm_factor, 1.0 / tput);
+        if (cfg.fabric_localization) {
+          const auto verdict = localize_rehash(topo, flows, cfg.flight);
+          if (verdict.scored) {
+            ++record.fabric_localizations;
+            record.fabric_alarms += verdict.alarms;
+            if (verdict.top1_correct) ++record.fabric_top1_correct;
+            if (verdict.first_alarm >= 0) {
+              record.fabric_detect_latency =
+                  std::max(record.fabric_detect_latency, verdict.first_alarm);
+            } else {
+              ++record.undetected_faults;
+            }
+          }
+        }
         break;
       }
     }

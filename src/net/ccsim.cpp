@@ -9,6 +9,7 @@
 #include "prof/profiler.h"
 #include "core/rng.h"
 #include "core/stats.h"
+#include "net/fabric/observatory.h"
 #include "telemetry/metrics.h"
 
 namespace ms::net {
@@ -131,6 +132,14 @@ CcSimResult run_cc_sim(
   // History of queue depth for delayed feedback.
   std::vector<double> queue_hist(static_cast<std::size_t>(steps) + 1, 0.0);
 
+  // Fabric observatory hook (strictly passive: reads sim state, feeds
+  // nothing back, so results are identical with or without it).
+  fabric::FabricObservatory* obs = params.observatory;
+  const int obs_link =
+      obs != nullptr ? obs->add_link(params.observatory_link,
+                                     params.bottleneck_rate)
+                     : -1;
+
   for (int step = 0; step < steps; ++step) {
     // --- data plane ---
     double arrivals = 0;
@@ -162,10 +171,22 @@ CcSimResult run_cc_sim(
     if (queue_hist_metric != nullptr) queue_hist_metric->observe(queue);
     queue_hist[static_cast<std::size_t>(step) + 1] = queue;
 
+    if (obs != nullptr) {
+      const TimeNs now = seconds(static_cast<double>(step) * dt);
+      obs->record_tx(obs_link, now, served);
+      obs->record_queue(obs_link, now, queue);
+      obs->record_active_flows(obs_link, now, paused ? 0 : n);
+      if (paused) obs->record_pause(obs_link, now, seconds(dt));
+    }
+
     // --- PFC state machine ---
     if (!paused && queue > params.pfc_pause) {
       paused = true;
       ++pause_events;
+      if (obs != nullptr) {
+        obs->record_pause(obs_link,
+                          seconds(static_cast<double>(step) * dt), 0, 1);
+      }
     } else if (paused && queue < params.pfc_resume) {
       paused = false;
     }
@@ -207,7 +228,13 @@ CcSimResult run_cc_sim(
         CcFeedback fb;
         fb.rtt_s = rtt;
         fb.ecn = rng.chance(p_any);
-        if (fb.ecn) ++ecn_marks;
+        if (fb.ecn) {
+          ++ecn_marks;
+          if (obs != nullptr) {
+            obs->record_ecn(obs_link,
+                            seconds(static_cast<double>(step) * dt), 1.0);
+          }
+        }
         fb.line_rate = params.line_rate;
         fb.dt = params.base_rtt_s;
         const double new_rate =

@@ -29,6 +29,10 @@ namespace ms::telemetry {
 class MetricsRegistry;
 }  // namespace ms::telemetry
 
+namespace ms::net::fabric {
+class FabricObservatory;
+}  // namespace ms::net::fabric
+
 namespace ms::net {
 
 struct CcFeedback {
@@ -113,6 +117,11 @@ struct CcSimParams {
   /// PFC-pause counters, utilization/pause-fraction gauges — all labeled
   /// {algo=<controller>}.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Optional fabric observatory (not owned, strictly passive): the shared
+  /// egress registers under `observatory_link` and every step's queue
+  /// depth, served bytes, ECN marks and PFC pause time feed its series.
+  fabric::FabricObservatory* observatory = nullptr;
+  std::string observatory_link = "incast-egress";
 };
 
 struct CcSimResult {

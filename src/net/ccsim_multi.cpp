@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "core/rng.h"
+#include "net/fabric/observatory.h"
 
 namespace ms::net {
 
@@ -38,6 +40,28 @@ MultiCcResult run_multi_cc_sim(
       std::vector<double>(static_cast<std::size_t>(hops), 0.0));
 
   Rng rng(0xCCA11);
+
+  // Fabric observatory hooks (strictly passive). Hops register as links;
+  // flows register their hop lists so delivered bytes stay attributable.
+  fabric::FabricObservatory* obs = params.observatory;
+  std::vector<int> obs_link;
+  std::vector<int> obs_flow;
+  if (obs != nullptr) {
+    for (int h = 0; h < hops; ++h) {
+      obs_link.push_back(obs->add_link(
+          params.observatory_link_prefix + std::to_string(h),
+          params.capacity_of(h)));
+    }
+    for (int f = 0; f < n; ++f) {
+      const auto& flow = params.flows[static_cast<std::size_t>(f)];
+      std::vector<int> path;
+      for (int h = flow.first_hop; h <= flow.last_hop; ++h) {
+        path.push_back(obs_link[static_cast<std::size_t>(h)]);
+      }
+      obs_flow.push_back(
+          obs->record_flow_path(static_cast<std::uint64_t>(f), path));
+    }
+  }
 
   for (int step = 0; step < steps; ++step) {
     // --- data plane: shape each flow hop by hop (fluid FIFO) ---
@@ -79,6 +103,31 @@ MultiCcResult run_multi_cc_sim(
     }
     history[static_cast<std::size_t>(step) + 1] = queue;
 
+    if (obs != nullptr) {
+      const TimeNs now = seconds(static_cast<double>(step) * dt);
+      for (int h = 0; h < hops; ++h) {
+        const int link = obs_link[static_cast<std::size_t>(h)];
+        obs->record_queue(link, now, queue[static_cast<std::size_t>(h)]);
+        if (egress_paused[static_cast<std::size_t>(h)] != 0) {
+          obs->record_pause(link, now, seconds(dt));
+        }
+        int crossing = 0;
+        for (int f = 0; f < n; ++f) {
+          const auto& flow = params.flows[static_cast<std::size_t>(f)];
+          if (flow.first_hop <= h && h <= flow.last_hop) ++crossing;
+        }
+        obs->record_active_flows(link, now, crossing);
+      }
+      // Delivered bytes charge every hop of the flow's path (the per-link
+      // tx series and the per-flow ledger stay consistent by sharing one
+      // attribution source).
+      for (int f = 0; f < n; ++f) {
+        obs->attribute_flow_bytes(
+            obs_flow[static_cast<std::size_t>(f)], now,
+            forwarded[static_cast<std::size_t>(f)] * dt);
+      }
+    }
+
     // --- PFC state: queue h over threshold pauses hop h-1's egress ---
     for (int h = 0; h < hops; ++h) {
       const bool over = queue[static_cast<std::size_t>(h)] > params.pfc_pause;
@@ -88,6 +137,10 @@ MultiCcResult run_multi_cc_sim(
         if (over && !upstream) {
           upstream = 1;
           ++pause_events[static_cast<std::size_t>(h - 1)];
+          if (obs != nullptr) {
+            obs->record_pause(obs_link[static_cast<std::size_t>(h - 1)],
+                              seconds(static_cast<double>(step) * dt), 0, 1);
+          }
         } else if (under && upstream) {
           upstream = 0;
         }
@@ -120,6 +173,19 @@ MultiCcResult run_multi_cc_sim(
       CcFeedback fb;
       fb.rtt_s = rtt;
       fb.ecn = rng.chance(1.0 - no_mark);
+      if (fb.ecn && obs != nullptr) {
+        // Charge the mark to the deepest queue on the flow's path — the
+        // hop that actually did the marking with overwhelming probability.
+        int marked = flow.first_hop;
+        for (int h = flow.first_hop; h <= flow.last_hop; ++h) {
+          if (fb_queues[static_cast<std::size_t>(h)] >
+              fb_queues[static_cast<std::size_t>(marked)]) {
+            marked = h;
+          }
+        }
+        obs->record_ecn(obs_link[static_cast<std::size_t>(marked)],
+                        seconds(static_cast<double>(step) * dt), 1.0);
+      }
       fb.line_rate = flow.line_rate;
       fb.dt = params.base_rtt_s;
       rate[static_cast<std::size_t>(f)] =
@@ -144,9 +210,7 @@ MultiCcResult run_multi_cc_sim(
   return result;
 }
 
-VictimReport run_victim_scenario(
-    int incast_senders,
-    const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm) {
+MultiCcParams victim_params(int incast_senders) {
   MultiCcParams params;
   params.hops = 3;
   // First hops have headroom; the LAST hop is the bottleneck (a slow
@@ -165,7 +229,13 @@ VictimReport run_victim_scenario(
     params.flows.push_back({1, 2, 25e9});
   }
   params.flows.push_back({0, 0, 25e9});
+  return params;
+}
 
+VictimReport run_victim_scenario(
+    int incast_senders,
+    const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm) {
+  const MultiCcParams params = victim_params(incast_senders);
   const auto result = run_multi_cc_sim(params, make_algorithm);
   VictimReport report;
   report.victim_goodput = result.flow_goodput_frac.back();

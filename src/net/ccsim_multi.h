@@ -46,6 +46,12 @@ struct MultiCcParams {
   double pfc_pause = 2000e3;
   double pfc_resume = 1600e3;
   std::vector<MultiHopFlow> flows;
+  /// Optional fabric observatory (not owned, strictly passive). Each hop
+  /// registers as "<prefix><i>"; flows register their hop lists and their
+  /// delivered bytes are attributed across the path, so a PFC storm at the
+  /// bottleneck hop is localizable from the recorded series alone.
+  fabric::FabricObservatory* observatory = nullptr;
+  std::string observatory_link_prefix = "hop";
 };
 
 struct MultiCcResult {
@@ -76,5 +82,12 @@ struct VictimReport {
 VictimReport run_victim_scenario(
     int incast_senders,
     const std::function<std::unique_ptr<CcAlgorithm>()>& make_algorithm);
+
+/// The parameter set run_victim_scenario() uses: 3 hops with the LAST one
+/// the 25 GB/s bottleneck, shallow-buffer PFC thresholds, `incast_senders`
+/// flows over hops 1..2 plus one victim on hop 0 only. Exposed so callers
+/// (chaos localization, `msdiag fabric`) can attach an observatory or
+/// rescale thresholds before running run_multi_cc_sim() themselves.
+MultiCcParams victim_params(int incast_senders);
 
 }  // namespace ms::net

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "net/fabric/observatory.h"
+
 namespace ms::net {
 
 std::uint64_t EcmpRouter::hash_tuple(const FlowSpec& flow) {
@@ -24,6 +26,12 @@ Path EcmpRouter::route(const FlowSpec& flow) const {
 
 EcmpReport analyze_ecmp(const ClosTopology& topo,
                         const std::vector<FlowSpec>& flows) {
+  return analyze_ecmp(topo, flows, nullptr);
+}
+
+EcmpReport analyze_ecmp(const ClosTopology& topo,
+                        const std::vector<FlowSpec>& flows,
+                        fabric::FabricObservatory* observatory) {
   EcmpRouter router(topo);
   std::unordered_map<LinkId, int> load;
   std::vector<Path> routes;
@@ -40,16 +48,34 @@ EcmpReport analyze_ecmp(const ClosTopology& topo,
   report.flows = static_cast<int>(flows.size());
   if (flows.empty()) return report;
 
+  if (observatory != nullptr) {
+    observatory->attach_topology(topo);
+    for (const auto& [l, n_flows] : load) {
+      observatory->record_active_flows(static_cast<int>(l), 0, n_flows);
+    }
+  }
+
   const Bandwidth line_rate = topo.params().nic_bw;
   double sum = 0;
   double min_frac = 1.0;
   int conflicted = 0;
-  for (const auto& p : routes) {
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    const Path& p = routes[i];
     Bandwidth rate = line_rate;
     for (LinkId l : p) {
       const Bandwidth share =
           topo.link(l).capacity / static_cast<double>(load[l]);
       rate = std::min(rate, share);
+    }
+    if (observatory != nullptr && !p.empty()) {
+      // One cadence bucket of traffic at the equal-share rate, attributed
+      // across the hop list keyed by the flow's 5-tuple hash.
+      std::vector<int> hop_list;
+      for (LinkId l : p) hop_list.push_back(static_cast<int>(l));
+      const int rec = observatory->record_flow_path(
+          EcmpRouter::hash_tuple(flows[i]), hop_list);
+      observatory->attribute_flow_bytes(
+          rec, 0, rate * to_seconds(observatory->config().cadence));
     }
     const double frac = rate / line_rate;
     sum += frac;

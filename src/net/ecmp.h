@@ -14,6 +14,10 @@
 #include "core/rng.h"
 #include "net/topology.h"
 
+namespace ms::net::fabric {
+class FabricObservatory;
+}  // namespace ms::net::fabric
+
 namespace ms::net {
 
 struct FlowSpec {
@@ -59,6 +63,16 @@ struct EcmpReport {
 /// cross-validated against it in tests.)
 EcmpReport analyze_ecmp(const ClosTopology& topo,
                         const std::vector<FlowSpec>& flows);
+
+/// Same analysis, additionally recorded into a fabric observatory (passive;
+/// the report is unchanged): the topology's links register, every routed
+/// flow records its hop list keyed by its 5-tuple hash, one cadence bucket
+/// of equal-share-rate bytes is attributed across each path, and per-link
+/// flow counts land in the active-flow series — enough for the incast /
+/// hot-link detectors to name the conflicted uplink.
+EcmpReport analyze_ecmp(const ClosTopology& topo,
+                        const std::vector<FlowSpec>& flows,
+                        fabric::FabricObservatory* observatory);
 
 /// Workload generators for the conflict experiments.
 ///

@@ -1,0 +1,214 @@
+#include "net/fabric/detectors.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "diag/flight_recorder.h"
+
+namespace ms::net::fabric {
+
+namespace {
+
+std::string format_detail(const char* fmt, double a, double b) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, fmt, a, b);
+  return buf;
+}
+
+// Strict-weak ordering for localization verdicts: strongest culprit first.
+// Self-congested time dominates (PFC-storm origin), then contention (ECMP
+// fan-in), then utilization; the lowest link id breaks residual ties so the
+// ranking is deterministic.
+bool stronger(const LinkScore& a, const LinkScore& b) {
+  if (a.self_congested != b.self_congested)
+    return a.self_congested > b.self_congested;
+  if (a.peak_flows != b.peak_flows) return a.peak_flows > b.peak_flows;
+  if (a.mean_util != b.mean_util) return a.mean_util > b.mean_util;
+  return a.link < b.link;
+}
+
+}  // namespace
+
+std::vector<LinkScore> rank_links(const FabricObservatory& obs,
+                                  const FabricDetectorConfig& cfg) {
+  std::vector<LinkScore> scores;
+  scores.reserve(static_cast<std::size_t>(obs.link_count()));
+  const TimeNs cadence = obs.config().cadence;
+  for (int link = 0; link < obs.link_count(); ++link) {
+    LinkScore score;
+    score.link = link;
+    score.name = obs.link_name(link);
+    const auto window = obs.samples(link);
+    double util_sum = 0;
+    for (const auto& sample : window) {
+      util_sum += obs.utilization(link, sample);
+      score.tx_bytes += sample.tx_bytes;
+      score.pause_time += sample.pause_time;
+      score.peak_flows = std::max(score.peak_flows, sample.active_flows);
+      if (sample.queue_peak_bytes > cfg.queue_hot_bytes) {
+        // Over threshold while the egress was (mostly) serving: the queue
+        // built from this link's own deficit, not from downstream pause
+        // frames. Victims spend the hot bucket paused and contribute ~0.
+        const TimeNs serving = cadence - sample.pause_time;
+        if (serving > 0) score.self_congested += serving;
+      }
+    }
+    if (!window.empty())
+      score.mean_util = util_sum / static_cast<double>(window.size());
+    scores.push_back(std::move(score));
+  }
+  std::sort(scores.begin(), scores.end(), stronger);
+  return scores;
+}
+
+FabricReport detect_anomalies(const FabricObservatory& obs,
+                              const FabricDetectorConfig& cfg) {
+  FabricReport report;
+  const TimeNs cadence = obs.config().cadence;
+
+  // Fleet mean of nonzero bucket utilizations, for the outlier rule.
+  double util_sum = 0;
+  std::int64_t util_count = 0;
+  for (int link = 0; link < obs.link_count(); ++link) {
+    for (const auto& sample : obs.samples(link)) {
+      const double util = obs.utilization(link, sample);
+      if (util > 0) {
+        util_sum += util;
+        ++util_count;
+      }
+    }
+  }
+  const double fleet_mean = util_count > 0
+                                ? util_sum / static_cast<double>(util_count)
+                                : 0;
+
+  for (int link = 0; link < obs.link_count(); ++link) {
+    const auto window = obs.samples(link);
+    int hot_streak = 0;
+    bool hot_fired = false;
+    bool storm_fired = false;
+    bool incast_fired = false;
+    for (const auto& sample : window) {
+      const double util = obs.utilization(link, sample);
+      const bool hot_abs = util >= cfg.hot_utilization;
+      const bool hot_rel = fleet_mean > 0 && util >= cfg.min_utilization &&
+                           util >= cfg.outlier_factor * fleet_mean;
+      hot_streak = (hot_abs || hot_rel) ? hot_streak + 1 : 0;
+      if (!hot_fired && hot_streak >= cfg.hot_persistence) {
+        hot_fired = true;
+        FabricAlarm alarm;
+        alarm.at = sample.bucket;
+        alarm.detector = "hot-link";
+        alarm.link = link;
+        alarm.link_name = obs.link_name(link);
+        alarm.score = util;
+        alarm.detail = format_detail("util=%.3f fleet_mean=%.3f", util,
+                                     fleet_mean);
+        report.alarms.push_back(std::move(alarm));
+      }
+      const double paused_frac =
+          cadence > 0 ? to_seconds(sample.pause_time) / to_seconds(cadence)
+                      : 0;
+      if (!storm_fired &&
+          (paused_frac >= cfg.pause_fraction || sample.pause_events > 0)) {
+        storm_fired = true;
+        FabricAlarm alarm;
+        alarm.at = sample.bucket;
+        alarm.detector = "pfc-storm";
+        alarm.link = link;
+        alarm.link_name = obs.link_name(link);
+        alarm.score = paused_frac;
+        alarm.detail =
+            format_detail("paused_frac=%.3f events=%.0f", paused_frac,
+                          static_cast<double>(sample.pause_events));
+        report.alarms.push_back(std::move(alarm));
+      }
+      if (!incast_fired && sample.active_flows >= cfg.incast_fan_in) {
+        incast_fired = true;
+        FabricAlarm alarm;
+        alarm.at = sample.bucket;
+        alarm.detector = "incast";
+        alarm.link = link;
+        alarm.link_name = obs.link_name(link);
+        alarm.score = sample.active_flows;
+        alarm.detail = format_detail("fan_in=%.0f threshold=%.0f",
+                                     sample.active_flows, cfg.incast_fan_in);
+        report.alarms.push_back(std::move(alarm));
+      }
+    }
+  }
+
+  // Top-talker: one flow carrying an outsized share of all attributed
+  // bytes. The alarm points at the flow's bottleneck link (lowest
+  // capacity; last hop on ties — the congestion usually lives there).
+  double flow_bytes_total = 0;
+  for (const auto& flow : obs.flows()) flow_bytes_total += flow.bytes;
+  if (flow_bytes_total > 0) {
+    for (std::size_t i = 0; i < obs.flows().size(); ++i) {
+      const FlowPathRecord& flow = obs.flows()[i];
+      const double share = flow.bytes / flow_bytes_total;
+      if (share < cfg.top_talker_share || flow.links.empty()) continue;
+      int bottleneck = flow.links.front();
+      for (int link : flow.links) {
+        if (obs.link_capacity(link) <= obs.link_capacity(bottleneck))
+          bottleneck = link;
+      }
+      FabricAlarm alarm;
+      alarm.detector = "top-talker";
+      alarm.link = bottleneck;
+      alarm.link_name = obs.link_name(bottleneck);
+      alarm.score = share;
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "flow=0x%016" PRIx64 " share=%.3f",
+                    flow.label, share);
+      alarm.detail = buf;
+      // Stamp with the last retained bucket so the alarm sorts with the
+      // evidence that produced it.
+      const auto window = obs.samples(bottleneck);
+      if (!window.empty()) alarm.at = window.back().bucket;
+      report.alarms.push_back(std::move(alarm));
+    }
+  }
+
+  std::stable_sort(report.alarms.begin(), report.alarms.end(),
+                   [](const FabricAlarm& a, const FabricAlarm& b) {
+                     return a.at < b.at;
+                   });
+  if (!report.alarms.empty()) report.first_alarm = report.alarms.front().at;
+
+  report.ranked = rank_links(obs, cfg);
+  if (!report.ranked.empty() &&
+      (report.ranked.front().self_congested > 0 ||
+       report.ranked.front().peak_flows > 0 ||
+       report.ranked.front().mean_util > 0)) {
+    report.hottest_link = report.ranked.front().link;
+    report.hottest_link_name = report.ranked.front().name;
+  }
+
+  if (diag::FlightRecorder* flight = obs.config().flight) {
+    for (const auto& alarm : report.alarms) {
+      flight->record(alarm.link, alarm.at, "fabric:" + alarm.detector,
+                     alarm.link_name + " " + alarm.detail);
+    }
+    if (!report.alarms.empty()) {
+      // Freeze a post-mortem dump the moment the fabric detectors fire —
+      // the §5.3 "stop the rings while the evidence is fresh" move.
+      flight->trigger("fabric:" + report.alarms.front().detector + ":" +
+                          report.alarms.front().link_name,
+                      report.alarms.back().at);
+    }
+  }
+  return report;
+}
+
+std::string describe(const FabricAlarm& alarm) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "[%s] %s at %.3fms score=%.3f %s",
+                alarm.detector.c_str(), alarm.link_name.c_str(),
+                to_seconds(alarm.at) * 1.0e3, alarm.score,
+                alarm.detail.c_str());
+  return buf;
+}
+
+}  // namespace ms::net::fabric

@@ -1,0 +1,103 @@
+// Online fabric anomaly detectors and congestion localization
+// (MegaScale §3.6, §5.2: "locate the link responsible").
+//
+// Four detectors run over the observatory's ring buffers:
+//   * hot-link     — a link whose bucket utilization stays at/above the
+//                    absolute threshold (or far above the fleet mean) for
+//                    `hot_persistence` consecutive buckets;
+//   * pfc-storm    — PFC pause frames observed; the alarm carries the
+//                    storm's spread (how many links paused) and the
+//                    localization logic below names the origin;
+//   * incast       — fan-in: bucket peak active flows at/above threshold;
+//   * top-talker   — one recorded flow carrying an outsized share of all
+//                    attributed fabric bytes.
+//
+// Localization. A PFC storm pauses *upstream* queues too (head-of-line
+// collateral), so "deepest queue" misidentifies victims as culprits. The
+// origin is the queue that is over threshold while its own egress is NOT
+// paused — congested by its own service deficit, not by downstream pause
+// frames. rank_links() scores exactly that ("self-congested time") first,
+// then contention (peak concurrent flows), then utilization; the chaos
+// harness grades pfc_storm / ecmp_rehash scenarios on whether the top-1
+// ranked link names the injected hot link.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "net/fabric/observatory.h"
+
+namespace ms::net::fabric {
+
+struct FabricDetectorConfig {
+  /// hot-link: absolute bucket-utilization trigger ...
+  double hot_utilization = 0.9;
+  /// ... or `outlier_factor` x the fleet's mean nonzero utilization,
+  /// provided the link clears `min_utilization`.
+  double outlier_factor = 2.0;
+  double min_utilization = 0.05;
+  /// Consecutive hot buckets before the alarm fires (debounce).
+  int hot_persistence = 3;
+  /// Queue depth treated as congested for origin localization. Callers
+  /// wiring a simulator should set this to the simulator's PFC threshold.
+  double queue_hot_bytes = mega(1.0);
+  /// pfc-storm: fraction of a bucket spent paused that trips the alarm.
+  double pause_fraction = 0.1;
+  /// incast: bucket peak concurrent flows on one link.
+  int incast_fan_in = 8;
+  /// top-talker: one flow's share of all attributed fabric bytes.
+  double top_talker_share = 0.5;
+};
+
+struct FabricAlarm {
+  TimeNs at = 0;          ///< bucket start that tripped the detector
+  std::string detector;   ///< "hot-link" | "pfc-storm" | "incast" | "top-talker"
+  int link = -1;          ///< observatory link index (-1: fabric-wide)
+  std::string link_name;
+  double score = 0;       ///< detector-specific magnitude
+  std::string detail;     ///< k=v attributes for the flight recorder
+};
+
+/// Per-link localization score, strongest first (see header comment for
+/// the ranking criteria).
+struct LinkScore {
+  int link = -1;
+  std::string name;
+  /// Time the link's queue was over `queue_hot_bytes` while its egress was
+  /// mostly unpaused — the congestion-origin signal.
+  TimeNs self_congested = 0;
+  int peak_flows = 0;        ///< max bucket active_flows over the window
+  double mean_util = 0;      ///< mean bucket utilization
+  double tx_bytes = 0;       ///< total bytes over the retained window
+  TimeNs pause_time = 0;     ///< total PFC pause time
+};
+
+struct FabricReport {
+  std::vector<FabricAlarm> alarms;
+  /// Ranked localization verdicts; ranked[0] is the named culprit.
+  std::vector<LinkScore> ranked;
+  int hottest_link = -1;     ///< ranked[0].link, -1 when nothing observed
+  std::string hottest_link_name;
+  /// Earliest alarm bucket — detection latency relative to the window
+  /// start; -1 when no alarm fired.
+  TimeNs first_alarm = -1;
+};
+
+/// Scores every link for localization (always succeeds; alarms are not
+/// required for a ranking).
+std::vector<LinkScore> rank_links(const FabricObservatory& obs,
+                                  const FabricDetectorConfig& cfg = {});
+
+/// Runs all four detectors plus localization. When the observatory was
+/// configured with a FlightRecorder, every alarm is recorded into its
+/// rings and the first detection freezes a post-mortem dump.
+FabricReport detect_anomalies(const FabricObservatory& obs,
+                              const FabricDetectorConfig& cfg = {});
+
+/// One-line rendering of an alarm ("[pfc-storm] hop2 at 3ms ...").
+std::string describe(const FabricAlarm& alarm);
+
+}  // namespace ms::net::fabric

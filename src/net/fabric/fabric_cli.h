@@ -1,0 +1,31 @@
+// `msdiag fabric` — the observatory's command-line surface (§5 tooling).
+//
+//   msdiag fabric top      [--scenario storm|rehash] [--top N] ...
+//   msdiag fabric heatmap  [--scenario ...]
+//   msdiag fabric timeline [--scenario ...] [--out trace.json]
+//   msdiag fabric paths    [--scenario ...] [--top N]
+//   msdiag fabric export   [--scenario ...] [--out fabric.jsonl]
+//
+// Each invocation reproduces a canonical congestion scenario under a fabric
+// observatory — `storm` replays the multi-hop PFC victim chain, `rehash` an
+// ECMP hashing-conflict round over the small Clos fabric — then renders the
+// recorded series: alarm/ranking tables (top), a links x {util,queue,pause}
+// heatmap, a Perfetto-loadable timeline with one lane per hot link, the flow
+// path ledger, or the raw JSONL artifact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ms::net::fabric {
+
+/// Usage text (multi-line, ends with newline) for the msdiag front end.
+std::string fabric_usage();
+
+/// Entry point for `msdiag fabric ...` (argv without the leading "fabric").
+/// Returns a process exit code.
+int fabric_main(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace ms::net::fabric

@@ -1,0 +1,74 @@
+// Ring-buffered per-link telemetry series (MegaScale §3.6, §5).
+//
+// The paper's incident tooling keeps millisecond-granularity per-port
+// counters (PFC pause duration, ECN marks, RDMA tx/rx) so a congestion
+// event can be localized to a specific link after the fact. This is the
+// storage primitive behind the fabric observatory: one LinkSeries per
+// simulated link folds every simulator event into fixed-cadence buckets
+// (default 1 ms of simulated time) held in a bounded ring, so sampling is
+// O(1) per event, allocation-free once warm, and safe to leave on for the
+// whole run. Evicted buckets are counted, never silently lost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/digest.h"
+#include "core/time.h"
+
+namespace ms::net::fabric {
+
+/// One cadence bucket of link state. Counters accumulate within the
+/// bucket; `queue_peak_bytes` and `active_flows` hold the bucket maximum.
+struct LinkSample {
+  TimeNs bucket = 0;            ///< bucket start (multiple of the cadence)
+  double tx_bytes = 0;          ///< bytes forwarded during the bucket
+  double queue_peak_bytes = 0;  ///< deepest queue observed in the bucket
+  double ecn_marks = 0;         ///< ECN-CE marks attributed to the bucket
+  TimeNs pause_time = 0;        ///< time the egress spent PFC-paused
+  int pause_events = 0;         ///< pause-frame onsets in the bucket
+  int active_flows = 0;         ///< peak concurrent flows crossing the link
+};
+
+/// Fixed-cadence ring of LinkSamples. Notes must arrive in non-decreasing
+/// simulated time (one simulator drives one series); a note whose time
+/// falls before the open bucket folds into the open bucket rather than
+/// resurrecting a closed one.
+class LinkSeries {
+ public:
+  LinkSeries(TimeNs cadence, std::size_t capacity);
+
+  void note_tx(TimeNs at, double bytes);
+  void note_queue(TimeNs at, double queue_bytes);
+  void note_ecn(TimeNs at, double marks);
+  /// `paused_for` accumulates pause duration; `events` counts onsets.
+  void note_pause(TimeNs at, TimeNs paused_for, int events = 0);
+  void note_active_flows(TimeNs at, int flows);
+
+  /// Retained samples, oldest first. Copies out of the ring.
+  std::vector<LinkSample> samples() const;
+  std::size_t sample_count() const;
+  /// Buckets evicted because the ring wrapped.
+  std::uint64_t dropped() const { return dropped_; }
+  TimeNs cadence() const { return cadence_; }
+
+  /// Totals over the retained window (not the evicted history).
+  double total_tx_bytes() const;
+  TimeNs total_pause_time() const;
+  double total_ecn_marks() const;
+
+  /// Order-sensitive fold of every retained sample (plus cadence and the
+  /// eviction count) into an FNV determinism digest.
+  void fold_digest(check::Digest& digest) const;
+
+ private:
+  LinkSample& open_bucket(TimeNs at);
+
+  TimeNs cadence_;
+  std::size_t capacity_;
+  std::vector<LinkSample> ring_;  ///< chronological, ring_[head_] oldest
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ms::net::fabric

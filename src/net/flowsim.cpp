@@ -9,6 +9,7 @@
 
 #include "check/audit.h"
 #include "prof/profiler.h"
+#include "net/fabric/observatory.h"
 #include "telemetry/metrics.h"
 
 namespace ms::net {
@@ -134,6 +135,19 @@ void FlowSim::run() {
   std::size_t remaining_flows = n;
   double now_sec = 0.0;
 
+  // Fabric observatory (strictly passive). Links come from the topology;
+  // flow paths register up front so every byte stays attributable.
+  std::vector<int> obs_flow;
+  if (observatory_ != nullptr) {
+    observatory_->attach_topology(*topo_);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<int> path;
+      for (LinkId l : flows_[i].path) path.push_back(static_cast<int>(l));
+      obs_flow.push_back(
+          observatory_->record_flow_path(static_cast<std::uint64_t>(i), path));
+    }
+  }
+
   while (remaining_flows > 0) {
     // Activate flows whose arrival time has come.
     while (next_arrival < n &&
@@ -171,6 +185,24 @@ void FlowSim::run() {
       dt = std::min(dt, ta - now_sec);
     }
     assert(std::isfinite(dt) && dt >= 0);
+
+    if (observatory_ != nullptr && dt > 0) {
+      // Attribute this event segment: rate * dt bytes per active flow,
+      // charged across the flow's path, plus per-link concurrency.
+      const TimeNs at = seconds(now_sec);
+      std::vector<int> link_flows(topo_->links().size(), 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!flows_[i].active || flows_[i].finished) continue;
+        observatory_->attribute_flow_bytes(obs_flow[i], at, rates[i] * dt);
+        for (LinkId l : flows_[i].path) ++link_flows[static_cast<std::size_t>(l)];
+      }
+      for (std::size_t l = 0; l < link_flows.size(); ++l) {
+        if (link_flows[l] > 0) {
+          observatory_->record_active_flows(static_cast<int>(l), at,
+                                            link_flows[l]);
+        }
+      }
+    }
 
     // Advance.
     now_sec += dt;

@@ -23,6 +23,10 @@ namespace ms::telemetry {
 class MetricsRegistry;
 }  // namespace ms::telemetry
 
+namespace ms::net::fabric {
+class FabricObservatory;
+}  // namespace ms::net::fabric
+
 namespace ms::net {
 
 struct FlowResult {
@@ -40,6 +44,13 @@ class FlowSim {
   /// Optional telemetry (not owned): run() records a per-flow duration
   /// histogram plus flow-count and makespan series.
   void set_metrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Optional fabric observatory (not owned, strictly passive). Must be
+  /// empty or already attached to this topology so observatory link
+  /// indices equal this topology's LinkIds. run() registers every flow's
+  /// path, attributes rate*dt per event segment across it, and records
+  /// per-link queue-equivalent state (active-flow counts).
+  void set_observatory(fabric::FabricObservatory* obs) { observatory_ = obs; }
 
   /// Adds a flow that becomes active at `arrival`. The path must be
   /// non-empty (intra-host transfers never touch the fabric). Returns a
@@ -70,6 +81,7 @@ class FlowSim {
 
   const ClosTopology* topo_;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  fabric::FabricObservatory* observatory_ = nullptr;
   std::vector<FlowState> flows_;
   std::vector<FlowResult> results_;
   bool ran_ = false;

@@ -15,6 +15,8 @@
 #include "core/wallclock.h"
 #include "engine/job.h"
 #include "ft/workflow.h"
+#include "net/ccsim_multi.h"
+#include "net/fabric/observatory.h"
 #include "prof/profiler.h"
 #include "prof/report.h"
 #include "prof/telemetry_bridge.h"
@@ -167,9 +169,32 @@ WorkloadResult run_fig11_production() {
     telemetry::AggregationTree tree(acfg);
     const auto rank_sketch =
         telemetry::SketchSnapshot::from(registry.snapshot());
-    for (int r = 0; r < acfg.ranks; ++r) tree.submit(r, rank_sketch);
+    // Mirror the bench: the host leader rank ships the fabric observatory
+    // sketch next to its rank metrics (see bench/fig11_production_run.cpp).
+    net::fabric::FabricObservatory fabric_obs;
+    net::MultiCcParams fparams = net::victim_params(8);
+    fparams.observatory = &fabric_obs;
+    net::run_multi_cc_sim(fparams,
+                          [] { return std::make_unique<net::Dcqcn>(); });
+    auto leader_sketch = rank_sketch;
+    leader_sketch.merge(fabric_obs.sketch());
+    for (int r = 0; r < acfg.ranks; ++r) {
+      tree.submit(
+          r, r % acfg.ranks_per_host == 0 ? leader_sketch : rank_sketch);
+    }
     const auto flush = tree.flush();
     (void)flush;
+    // Steady-state flush intervals after the cold full flush: a rank only
+    // re-submits when its sketch content changed, so each interval sees a
+    // sparse dirty set (1/32 of hosts here) and the tree's dirty-subtree
+    // short-circuit skips the rest.
+    for (int interval = 1; interval <= 4; ++interval) {
+      for (int host = interval % 32; host < tree.hosts(); host += 32) {
+        tree.submit(host * acfg.ranks_per_host, leader_sketch);
+      }
+      const auto inc = tree.flush();
+      (void)inc;
+    }
   }
   return {};
 }

@@ -19,11 +19,15 @@ AggregationTree::AggregationTree(const AggTreeConfig& cfg)
   hosts_ = ceil_div(cfg_.ranks, cfg_.ranks_per_host);
   pods_ = ceil_div(hosts_, cfg_.hosts_per_pod);
   leaves_.resize(static_cast<std::size_t>(cfg_.ranks));
+  rank_dirty_.assign(static_cast<std::size_t>(cfg_.ranks), 0);
+  host_cache_.resize(static_cast<std::size_t>(hosts_));
+  pod_cache_.resize(static_cast<std::size_t>(pods_));
 }
 
 void AggregationTree::submit(int rank, SketchSnapshot snapshot) {
   assert(rank >= 0 && rank < cfg_.ranks);
   leaves_[static_cast<std::size_t>(rank)] = std::move(snapshot);
+  rank_dirty_[static_cast<std::size_t>(rank)] = 1;
 }
 
 SketchSnapshot AggregationTree::flat_merge() const {
@@ -36,24 +40,45 @@ FlushReport AggregationTree::flush() {
   MS_PROF_SCOPE("telemetry.agg_flush");
   FlushReport report;
 
+  // A subtree is dirty when any leaf under it re-submitted since the last
+  // flush. Clean subtrees neither ship nor merge: their parent reuses the
+  // retained aggregate from host_cache_ / pod_cache_.
+  std::vector<char> host_dirty(static_cast<std::size_t>(hosts_), 0);
+  std::vector<char> pod_dirty(static_cast<std::size_t>(pods_), 0);
+  for (int rank = 0; rank < cfg_.ranks; ++rank) {
+    if (rank_dirty_[static_cast<std::size_t>(rank)]) {
+      host_dirty[static_cast<std::size_t>(rank / cfg_.ranks_per_host)] = 1;
+    }
+  }
+  for (int host = 0; host < hosts_; ++host) {
+    if (host_dirty[static_cast<std::size_t>(host)]) {
+      pod_dirty[static_cast<std::size_t>(host / cfg_.hosts_per_pod)] = 1;
+    }
+  }
+
   // ---- level 0: rank -> host (NVLink / shared memory) -------------------
-  std::vector<SketchSnapshot> host_snaps(static_cast<std::size_t>(hosts_));
+  // Sender/byte/latency accounting covers only the dirty ranks — a rank
+  // with no fresh snapshot ships nothing, and an all-clean host skips its
+  // rebuild entirely.
   LevelReport l0;
   l0.level = "rank->host";
-  l0.senders = cfg_.ranks;
   l0.receivers = hosts_;
   l0.fan_in = cfg_.ranks_per_host;
   for (int host = 0; host < hosts_; ++host) {
+    if (!host_dirty[static_cast<std::size_t>(host)]) continue;
     TimeNs ingest = 0;
     const int lo = host * cfg_.ranks_per_host;
     const int hi = std::min(cfg_.ranks, lo + cfg_.ranks_per_host);
-    auto& merged = host_snaps[static_cast<std::size_t>(host)];
+    auto& merged = host_cache_[static_cast<std::size_t>(host)];
+    merged = SketchSnapshot();
     for (int rank = lo; rank < hi; ++rank) {
       const auto& leaf = leaves_[static_cast<std::size_t>(rank)];
+      merged.merge(leaf);
+      if (!rank_dirty_[static_cast<std::size_t>(rank)]) continue;
       const Bytes bytes = leaf.encoded_bytes();
+      ++l0.senders;
       l0.bytes += bytes;
       ingest += model_.send_recv(bytes, collective::Domain::kIntraNode);
-      merged.merge(leaf);
       ingest += cfg_.merge_cost_per_series *
                 static_cast<TimeNs>(leaf.size());
     }
@@ -63,25 +88,27 @@ FlushReport AggregationTree::flush() {
   report.levels.push_back(l0);
 
   // ---- level 1: host -> pod (RDMA fabric) -------------------------------
-  std::vector<SketchSnapshot> pod_snaps(static_cast<std::size_t>(pods_));
   LevelReport l1;
   l1.level = "host->pod";
-  l1.senders = hosts_;
   l1.receivers = pods_;
   l1.fan_in = cfg_.hosts_per_pod;
   Bytes max_host_uplink = 0;
   for (int pod = 0; pod < pods_; ++pod) {
+    if (!pod_dirty[static_cast<std::size_t>(pod)]) continue;
     TimeNs ingest = 0;
     const int lo = pod * cfg_.hosts_per_pod;
     const int hi = std::min(hosts_, lo + cfg_.hosts_per_pod);
-    auto& merged = pod_snaps[static_cast<std::size_t>(pod)];
+    auto& merged = pod_cache_[static_cast<std::size_t>(pod)];
+    merged = SketchSnapshot();
     for (int host = lo; host < hi; ++host) {
-      const auto& snap = host_snaps[static_cast<std::size_t>(host)];
+      const auto& snap = host_cache_[static_cast<std::size_t>(host)];
+      merged.merge(snap);
+      if (!host_dirty[static_cast<std::size_t>(host)]) continue;
       const Bytes bytes = snap.encoded_bytes();
+      ++l1.senders;
       l1.bytes += bytes;
       max_host_uplink = std::max(max_host_uplink, bytes);
       ingest += model_.send_recv(bytes, collective::Domain::kInterNode);
-      merged.merge(snap);
       ingest += cfg_.merge_cost_per_series *
                 static_cast<TimeNs>(snap.size());
     }
@@ -92,20 +119,28 @@ FlushReport AggregationTree::flush() {
   // ---- level 2: pod -> cluster root (RDMA fabric) -----------------------
   LevelReport l2;
   l2.level = "pod->cluster";
-  l2.senders = pods_;
   l2.receivers = 1;
   l2.fan_in = pods_;
-  root_ = SketchSnapshot();
+  bool any_dirty = false;
   for (int pod = 0; pod < pods_; ++pod) {
-    const auto& snap = pod_snaps[static_cast<std::size_t>(pod)];
-    const Bytes bytes = snap.encoded_bytes();
-    l2.bytes += bytes;
-    l2.stage_latency +=
-        model_.send_recv(bytes, collective::Domain::kInterNode) +
-        cfg_.merge_cost_per_series * static_cast<TimeNs>(snap.size());
-    root_.merge(snap);
+    if (pod_dirty[static_cast<std::size_t>(pod)]) any_dirty = true;
+  }
+  if (any_dirty) {
+    root_ = SketchSnapshot();
+    for (int pod = 0; pod < pods_; ++pod) {
+      const auto& snap = pod_cache_[static_cast<std::size_t>(pod)];
+      root_.merge(snap);
+      if (!pod_dirty[static_cast<std::size_t>(pod)]) continue;
+      const Bytes bytes = snap.encoded_bytes();
+      ++l2.senders;
+      l2.bytes += bytes;
+      l2.stage_latency +=
+          model_.send_recv(bytes, collective::Domain::kInterNode) +
+          cfg_.merge_cost_per_series * static_cast<TimeNs>(snap.size());
+    }
   }
   report.levels.push_back(l2);
+  std::fill(rank_dirty_.begin(), rank_dirty_.end(), 0);
 
   report.network_bytes = l1.bytes + l2.bytes;
   network_bytes_total_ += report.network_bytes;

@@ -85,11 +85,19 @@ class AggregationTree {
   int hosts() const { return hosts_; }
   int pods() const { return pods_; }
 
-  /// Replaces rank's pending sketch (ranks re-snapshot every interval).
+  /// Replaces rank's pending sketch (ranks re-snapshot every interval) and
+  /// marks the rank's host/pod subtree dirty for the next flush.
   void submit(int rank, SketchSnapshot snapshot);
 
   /// Merges every level bottom-up, charges traffic and latency, and
   /// returns the accounting. The merged cluster snapshot is in root().
+  ///
+  /// Dirty-subtree short-circuit: every aggregator retains its children's
+  /// last sketches, so a rank with no submit() since the previous flush
+  /// ships nothing and costs no merge CPU — and a host/pod subtree with no
+  /// dirty rank at all is skipped outright, its cached aggregate reused.
+  /// A flush with nothing dirty charges zero bytes and leaves root()
+  /// unchanged. The tree starts all-clean.
   FlushReport flush();
 
   /// Cluster-wide merged snapshot of the last flush.
@@ -109,6 +117,11 @@ class AggregationTree {
   int hosts_ = 0;
   int pods_ = 0;
   std::vector<SketchSnapshot> leaves_;
+  /// Dirty flags since the last flush (see flush() doc).
+  std::vector<char> rank_dirty_;
+  /// Retained per-host / per-pod aggregates, rebuilt only when dirty.
+  std::vector<SketchSnapshot> host_cache_;
+  std::vector<SketchSnapshot> pod_cache_;
   SketchSnapshot root_;
   Bytes network_bytes_total_ = 0;
 };

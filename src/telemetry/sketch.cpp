@@ -33,6 +33,7 @@ void SketchValue::merge(const SketchValue& other) {
 }
 
 SketchValue& SketchSnapshot::slot(const std::string& key, MetricKind kind) {
+  encoded_bytes_cache_ = -1;  // handing out a mutable slot stales the memo
   auto [it, inserted] = series_.try_emplace(key);
   if (inserted) {
     it->second.kind = kind;
@@ -56,12 +57,27 @@ void SketchSnapshot::add_histogram(const std::string& key,
 }
 
 void SketchSnapshot::merge(const SketchSnapshot& other) {
+  if (other.series_.empty()) return;
+  encoded_bytes_cache_ = -1;
+  // Both maps iterate in key order, so one synchronized walk suffices:
+  // amortized O(1) per series instead of an O(log n) string-keyed lookup
+  // for every merged key. This is the hot loop of the aggregation tree
+  // (12k leaves x hundreds of series per fig11 flush).
+  auto it = series_.begin();
   for (const auto& [key, value] : other.series_) {
-    slot(key, value.kind).merge(value);
+    while (it != series_.end() && it->first < key) ++it;
+    if (it != series_.end() && it->first == key) {
+      it->second.merge(value);  // aborts on kind clash (registry law)
+      ++it;
+    } else {
+      it = series_.emplace_hint(it, key, value);
+      ++it;
+    }
   }
 }
 
 Bytes SketchSnapshot::encoded_bytes() const {
+  if (encoded_bytes_cache_ >= 0) return encoded_bytes_cache_;
   // Wire model: 16-byte frame header; per series the key string plus a
   // 1-byte kind tag and 2-byte length; counters are one f64, gauges the
   // 4-field statistic, histograms a 24-byte header plus a sparse
@@ -79,6 +95,7 @@ Bytes SketchSnapshot::encoded_bytes() const {
         break;
     }
   }
+  encoded_bytes_cache_ = total;
   return total;
 }
 

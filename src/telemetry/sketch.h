@@ -75,7 +75,9 @@ class SketchSnapshot {
   /// Deterministic wire-size model (bytes) of this snapshot: per-series key
   /// + tag overhead, fixed-size counter/gauge payloads, and a sparse
   /// (bucket index, count) encoding for histograms. This is the number the
-  /// aggregation tree charges through the network cost model.
+  /// aggregation tree charges through the network cost model. Memoized:
+  /// recomputed only after a mutation (the aggregation tree sizes the same
+  /// unchanged snapshot at every level of every flush).
   Bytes encoded_bytes() const;
 
   /// Order-insensitive digest (series iterate in key order). Two snapshots
@@ -90,6 +92,8 @@ class SketchSnapshot {
   SketchValue& slot(const std::string& key, MetricKind kind);
 
   std::map<std::string, SketchValue> series_;
+  /// encoded_bytes() memo; -1 = stale (any mutation invalidates).
+  mutable Bytes encoded_bytes_cache_ = -1;
 };
 
 /// True when the two snapshots agree: exactly on every integral field

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "net/ccsim.h"
@@ -323,6 +324,89 @@ TEST(CcSim, FairnessNearOne) {
                         [] { return std::make_unique<MegaScaleCc>(); })}) {
     auto r = run_cc_sim(p, make);
     EXPECT_GT(r.fairness, 0.95) << r.algorithm;
+  }
+}
+
+// ------------------------------------------------- ccsim threshold edges
+
+/// Constant-rate controller: removes the control loop so the fluid
+/// integration is exactly predictable step by step.
+class FixedRate : public CcAlgorithm {
+ public:
+  std::string name() const override { return "FixedRate"; }
+  double on_feedback(double current_rate, const CcFeedback&) override {
+    return current_rate;
+  }
+};
+
+/// One sender at 2 B per step into a 1 B per step egress: the queue grows
+/// by exactly 1 byte per step (dt = 0.25 s and byte-scale rates keep every
+/// intermediate value exactly representable, so the PFC thresholds are hit
+/// *exactly*, not approximately).
+CcSimParams staircase_params(int steps) {
+  CcSimParams p;
+  p.senders = 1;
+  p.line_rate = 8.0;
+  p.bottleneck_rate = 4.0;
+  p.step_s = 0.25;
+  p.duration_s = 0.25 * static_cast<double>(steps);
+  p.base_rtt_s = 0.25;
+  p.ecn_kmin = 1000.0;  // ECN never fires at byte-scale queues
+  p.ecn_kmax = 2000.0;
+  p.pfc_pause = 3.0;
+  p.pfc_resume = 2.0;
+  return p;
+}
+
+TEST(CcSim, QueueExactlyAtPauseThresholdDoesNotPause) {
+  // Queue after steps 0,1,2 is 1,2,3 bytes: it ends exactly ON the pause
+  // threshold, and the latch requires strictly above.
+  auto r = run_cc_sim(staircase_params(3),
+                      [] { return std::make_unique<FixedRate>(); });
+  EXPECT_EQ(r.pfc_pause_events, 0);
+  EXPECT_DOUBLE_EQ(r.pfc_pause_fraction, 0.0);
+}
+
+TEST(CcSim, QueueExactlyAtResumeThresholdStaysPaused) {
+  // Queue walks 1,2,3,4 (pause latches strictly above 3), then drains
+  // 3,2,1 while paused. At exactly 2 bytes the latch must HOLD (resume is
+  // strictly below), so the pause spans three steps of the eight:
+  // fraction 3/8 exactly. A <=-resume bug would yield 2/8, a >=-pause bug
+  // would latch one step early — either breaks the equality.
+  auto r = run_cc_sim(staircase_params(8),
+                      [] { return std::make_unique<FixedRate>(); });
+  EXPECT_EQ(r.pfc_pause_events, 1);
+  EXPECT_DOUBLE_EQ(r.pfc_pause_fraction, 0.375);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);  // egress never idles
+}
+
+TEST(CcSim, DegenerateEcnBandIsFinite) {
+  // kmin == kmax collapses the RED ramp to a step function; the marking
+  // math must not divide by the zero-width band.
+  auto p = cc_params();
+  p.senders = 24;
+  p.ecn_kmin = 800e3;
+  p.ecn_kmax = 800e3;
+  auto r = run_cc_sim(p, [] { return std::make_unique<Dcqcn>(); });
+  EXPECT_TRUE(std::isfinite(r.utilization));
+  EXPECT_TRUE(std::isfinite(r.mean_queue_bytes));
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+}
+
+TEST(CcSim, ZeroRttIsFinite) {
+  // base_rtt_s == 0 degenerates the feedback delay to one step and the
+  // packet count to its floor of one; nothing may divide by the RTT.
+  auto p = cc_params();
+  p.base_rtt_s = 0.0;
+  for (auto make : {std::function<std::unique_ptr<CcAlgorithm>()>(
+                        [] { return std::make_unique<Dcqcn>(); }),
+                    std::function<std::unique_ptr<CcAlgorithm>()>(
+                        [] { return std::make_unique<MegaScaleCc>(); })}) {
+    auto r = run_cc_sim(p, make);
+    EXPECT_TRUE(std::isfinite(r.utilization)) << r.algorithm;
+    EXPECT_GT(r.utilization, 0.0) << r.algorithm;
+    EXPECT_LE(r.utilization, 1.0 + 1e-9) << r.algorithm;
   }
 }
 

@@ -29,9 +29,28 @@ import json
 import math
 import os
 import shutil
+import subprocess
 import sys
 
 EPS = 1e-12
+
+
+def stray_tracked_artifacts(repo_root: str) -> list[str]:
+    """Tracked BENCH_*.json files living outside bench/baselines/.
+
+    Bench binaries drop their artifact in the working directory, which makes
+    it easy to `git add` a run output by accident; only the committed
+    baselines belong in the tree.  Returns [] when git is unavailable (e.g.
+    an exported tarball) -- the check is advisory there.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "-C", repo_root, "ls-files", "*BENCH_*.json"],
+            capture_output=True, text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return []
+    return [p for p in out.splitlines()
+            if p and not p.startswith("bench/baselines/")]
 
 
 def load(path: str) -> dict:
@@ -95,6 +114,15 @@ def main() -> int:
     ap.add_argument("names", nargs="*",
                     help="bench names to gate (default: every baseline)")
     args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    strays = stray_tracked_artifacts(repo_root)
+    if strays:
+        for path in strays:
+            print(f"bench_gate: stray tracked artifact {path} "
+                  "(only bench/baselines/ may hold committed BENCH_*.json)",
+                  file=sys.stderr)
+        return 1
 
     if args.update:
         os.makedirs(args.baselines, exist_ok=True)

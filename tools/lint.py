@@ -30,9 +30,11 @@ ordered-digest Digest/report-emitting files (anything whose text mentions
                containers: iteration order is hash-layout-dependent, which
                is exactly how bit-identical determinism digests silently
                break between runs, platforms and libstdc++ versions.
-               Everything under src/plan/ is held to this bar
-               unconditionally — planner files feed the ranked-report
-               digest even when the digest lives in a sibling TU.
+               Everything under src/plan/ and src/net/fabric/ is held to
+               this bar unconditionally — planner files feed the
+               ranked-report digest and observatory files feed the fabric
+               determinism digest even when the digest lives in a sibling
+               TU.
 
 ambient-entropy rand()/srand(), std::random_device, time(nullptr),
                system_clock, steady_clock and high_resolution_clock are
@@ -76,8 +78,8 @@ RULES = {
     "test-coverage": "every src/**/*.cpp is referenced by a test",
     "pragma-once": "every header under src/ uses #pragma once",
     "ordered-digest":
-        "digest/report-emitting files (and all of src/plan/) may not"
-        " range-iterate unordered containers",
+        "digest/report-emitting files (and all of src/plan/ and"
+        " src/net/fabric/) may not range-iterate unordered containers",
     "ambient-entropy":
         "no rand()/random_device/time(nullptr)/system_clock/steady_clock"
         " outside core/rng.*, core/time.*, core/wallclock.*",
@@ -248,8 +250,10 @@ class Linter:
             rel = path.relative_to(self.root).as_posix()
             # src/plan/ is digest-emitting by construction: every planner
             # file feeds the ranked-report digest (often through a sibling
-            # TU), so the keyword heuristic is skipped there.
-            if not rel.startswith("src/plan/") \
+            # TU), so the keyword heuristic is skipped there. Same for
+            # src/net/fabric/: every observatory file feeds the fabric
+            # determinism digest and the JSONL/sketch exports.
+            if not rel.startswith(("src/plan/", "src/net/fabric/")) \
                     and not DIGEST_FILE_RE.search(text):
                 continue
             lines = text.splitlines()

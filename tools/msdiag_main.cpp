@@ -9,6 +9,8 @@
 //   msdiag ledger --diff base.jsonl cand.jsonl
 //   msdiag calibrate trace.jsonl --preset fixture --fitted-out fit.jsonl
 //   msdiag calibrate --emit trace.jsonl --gemm-eff 0.65
+//   msdiag fabric top --scenario storm --intensity 0.8
+//   msdiag fabric timeline --scenario rehash --out fabric.json
 //
 // `demo` and `ledger` are the two commands implemented here rather than in
 // src/diag: `ledger` renders telemetry::RunLedger artifacts (src/diag cannot
@@ -28,6 +30,7 @@
 
 #include "calib/calibrate_cli.h"
 #include "diag/artifact.h"
+#include "net/fabric/fabric_cli.h"
 #include "diag/blame.h"
 #include "diag/msdiag.h"
 #include "engine/job.h"
@@ -143,9 +146,13 @@ int main(int argc, char** argv) {
     return ms::calib::calibrate_main({args.begin() + 1, args.end()}, std::cout,
                                      std::cerr);
   }
+  if (!args.empty() && args.front() == "fabric") {
+    return ms::net::fabric::fabric_main({args.begin() + 1, args.end()},
+                                        std::cout, std::cerr);
+  }
   if (args.empty() || args.front() == "--help" || args.front() == "-h") {
     std::cerr << ms::diag::msdiag_usage() << ms::telemetry::ledger_usage()
-              << ms::calib::calibrate_usage();
+              << ms::calib::calibrate_usage() << ms::net::fabric::fabric_usage();
     return args.empty() ? 1 : 0;
   }
   return ms::diag::msdiag_main(args, std::cout, std::cerr);
